@@ -1,0 +1,23 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+One :class:`SuiteRunner` is shared by every benchmark module so each
+(benchmark, technique) pair is simulated exactly once per pytest session;
+the per-figure benchmarks then measure the figure-assembly step and, more
+importantly, print the regenerated numbers next to the paper's values.
+
+The instruction budget below is the compromise between fidelity and the
+runtime of a pure-Python cycle-level simulator; raise it (e.g. to 100k+)
+for a higher-fidelity reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import RunConfig, SuiteRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    return SuiteRunner(RunConfig(max_instructions=8_000, warmup_instructions=2_500))
+

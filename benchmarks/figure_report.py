@@ -1,0 +1,9 @@
+"""Small helper to print regenerated figures under a visible banner."""
+
+from __future__ import annotations
+
+
+def report(title: str, figure) -> None:
+    """Print a regenerated figure next to the paper's headline numbers."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+    print(figure.to_text())

@@ -1,0 +1,42 @@
+"""Ablation: the abella heuristic's evaluation interval.
+
+The paper's core argument against hardware-adaptive schemes is reaction
+delay: a longer evaluation interval reacts more slowly to phase changes.
+This bench sweeps the interval and reports the loss/savings trade-off.
+"""
+
+from repro.power import build_power_report, power_savings
+from repro.techniques import AbellaPolicy, BaselinePolicy
+from repro.uarch import simulate
+from repro.workloads import build_benchmark
+
+
+BUDGET = dict(max_instructions=6_000, warmup_instructions=2_000)
+
+
+def run_interval_sweep():
+    program = build_benchmark("twolf")
+    baseline_policy = BaselinePolicy()
+    baseline = simulate(program, baseline_policy, **BUDGET)
+    baseline_power = build_power_report(baseline, baseline_policy)
+    results = {}
+    for interval in (256, 768, 2048):
+        policy = AbellaPolicy(interval_cycles=interval)
+        stats = simulate(program, policy, **BUDGET)
+        savings = power_savings(baseline_power, build_power_report(stats, policy))
+        results[interval] = (
+            100 * (1 - stats.ipc / baseline.ipc),
+            100 * savings.iq_dynamic,
+            len(policy.decisions),
+        )
+    return results
+
+
+def test_abella_interval_ablation(benchmark):
+    results = benchmark.pedantic(run_interval_sweep, rounds=1, iterations=1)
+    print()
+    for interval, (loss, saving, decisions) in results.items():
+        print(f"  interval {interval:5d} cycles: loss {loss:5.1f}%  "
+              f"IQ dyn saving {saving:5.1f}%  resize decisions {decisions}")
+    # Longer intervals mean fewer adaptation decisions.
+    assert results[256][2] >= results[2048][2]

@@ -1,0 +1,45 @@
+"""Ablation: the cost of carrying hints in NOOPs versus instruction tags.
+
+Isolates section 5.3's Extension argument: the same compiler analysis, the
+same hardware mechanism, only the encoding differs.  The NOOP encoding
+consumes fetch and dispatch bandwidth, so it can only be slower.
+"""
+
+from repro.core import CompilerConfig, compile_program
+from repro.techniques import BaselinePolicy, SoftwareDirectedPolicy
+from repro.uarch import simulate
+from repro.workloads import build_benchmark
+
+
+BUDGET = dict(max_instructions=6_000, warmup_instructions=2_000)
+
+
+def run_encoding_comparison():
+    results = {}
+    for name in ("vortex", "gcc"):
+        program = build_benchmark(name)
+        baseline = simulate(program, BaselinePolicy(), **BUDGET)
+        per_mode = {}
+        for mode in ("noop", "extension"):
+            compilation = compile_program(program, CompilerConfig(), mode=mode)
+            stats = simulate(
+                compilation.instrumented_program, SoftwareDirectedPolicy(mode), **BUDGET
+            )
+            per_mode[mode] = (
+                100 * (1 - stats.ipc / baseline.ipc),
+                stats.hint_noops_stripped,
+            )
+        results[name] = per_mode
+    return results
+
+
+def test_noop_overhead_ablation(benchmark):
+    results = benchmark.pedantic(run_encoding_comparison, rounds=1, iterations=1)
+    print()
+    for name, per_mode in results.items():
+        for mode, (loss, noops) in per_mode.items():
+            print(f"  {name:8s} {mode:10s}: IPC loss {loss:5.1f}%  hint NOOPs executed {noops}")
+        # Tagging removes every dynamic NOOP and never costs more IPC.
+        assert per_mode["extension"][1] == 0
+        assert per_mode["noop"][1] > 0
+        assert per_mode["extension"][0] <= per_mode["noop"][0] + 0.5

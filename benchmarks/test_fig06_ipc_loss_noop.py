@@ -1,0 +1,15 @@
+"""Figure 6: normalised IPC loss for the NOOP technique (vs. abella)."""
+
+from figure_report import report
+from repro.harness.figures import figure6
+
+
+def test_figure6_ipc_loss_noop(benchmark, runner):
+    figure = benchmark.pedantic(figure6, args=(runner,), rounds=1, iterations=1)
+    report("Figure 6 - IPC loss, NOOP technique (paper: SPECINT 2.2%, abella 3.1%)", figure)
+    series = figure.series["noop"]
+    # Shape checks: resizing costs some IPC but the machine still works, and
+    # mcf (memory bound, pointer chasing) is the least sensitive benchmark.
+    assert 0.0 <= series["SPECINT"] < 25.0
+    assert series["mcf"] == min(v for k, v in series.items() if k not in ("SPECINT", "abella"))
+    assert series["abella"] > 0.0

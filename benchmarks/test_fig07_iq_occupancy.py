@@ -1,0 +1,16 @@
+"""Figure 7: issue-queue occupancy reduction for the NOOP technique."""
+
+from figure_report import report
+from repro.harness.figures import figure7
+
+
+def test_figure7_occupancy_reduction(benchmark, runner):
+    figure = benchmark.pedantic(figure7, args=(runner,), rounds=1, iterations=1)
+    report("Figure 7 - IQ occupancy reduction, NOOP technique (paper: 23% average)", figure)
+    series = figure.series["noop"]
+    assert series["SPECINT"] > 0.0
+    # Section 5.2.2's companion claims: banks are gated off and fewer
+    # instructions are in flight under the software scheme.
+    noop = runner.suite_metrics("noop")
+    assert sum(m.iq_banks_off_pct for m in noop) / len(noop) > 10.0
+    assert sum(m.inflight_reduction_pct for m in noop) / len(noop) > 0.0

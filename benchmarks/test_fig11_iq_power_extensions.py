@@ -1,0 +1,21 @@
+"""Figure 11: IQ power savings for the Extension and Improved techniques."""
+
+from figure_report import report
+from repro.harness.figures import figure11
+
+
+def test_figure11_iq_power_extensions(benchmark, runner):
+    figure = benchmark.pedantic(figure11, args=(runner,), rounds=1, iterations=1)
+    report(
+        "Figure 11 - IQ power savings, Extension & Improved (paper: 45% dyn / 30% "
+        "static, only slightly below the NOOP scheme's 47%/31%)",
+        figure,
+    )
+    noop_dynamic = runner.average("noop", "iq_dynamic_saving_pct")
+    for series_name in ("extension dynamic", "improved dynamic"):
+        value = figure.series[series_name]["SPECINT"]
+        assert value > 20.0
+        # The savings fall only slightly relative to the NOOP scheme.
+        assert value > noop_dynamic - 10.0
+    for series_name in ("extension static", "improved static"):
+        assert figure.series[series_name]["SPECINT"] > 10.0

@@ -1,0 +1,20 @@
+"""Figure 12: register-file power savings for Extension and Improved."""
+
+from figure_report import report
+from repro.harness.figures import figure12
+
+
+def test_figure12_regfile_power_extensions(benchmark, runner):
+    figure = benchmark.pedantic(figure12, args=(runner,), rounds=1, iterations=1)
+    report(
+        "Figure 12 - register-file power savings, Extension & Improved "
+        "(paper: ~21-22% dyn / ~20-21% static, essentially unchanged vs. NOOP)",
+        figure,
+    )
+    for series_name, values in figure.series.items():
+        assert values["SPECINT"] > 0.0, series_name
+    # Extension and Improved stay close to each other (the paper reports a
+    # one-point spread).
+    ext = figure.series["extension dynamic"]["SPECINT"]
+    imp = figure.series["improved dynamic"]["SPECINT"]
+    assert abs(ext - imp) < 10.0

@@ -1,0 +1,12 @@
+"""Table 1: the processor configuration used throughout the evaluation."""
+
+from repro.harness.tables import table1
+from repro.uarch import ProcessorConfig
+
+
+def test_table1_config(benchmark):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print("\n" + text)
+    config = ProcessorConfig.hpca2005()
+    assert config.iq_entries == 80 and config.rob_entries == 128
+    assert "80 entries" in text

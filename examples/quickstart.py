@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one benchmark and compare techniques.
+
+Builds the synthetic ``gzip`` benchmark, runs the compiler pass, simulates
+the baseline machine, the abella hardware-adaptive scheme and the paper's
+software-directed scheme, and prints IPC, occupancy and power savings.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CompilerConfig, compile_program
+from repro.power import build_power_report, power_savings
+from repro.techniques import AbellaPolicy, BaselinePolicy, SoftwareDirectedPolicy
+from repro.uarch import simulate
+from repro.workloads import build_benchmark
+
+
+def main() -> None:
+    program = build_benchmark("gzip")
+    print(f"benchmark: {program.name}  ({program.num_instructions} static instructions, "
+          f"{program.num_basic_blocks} basic blocks)")
+
+    compilation = compile_program(program, CompilerConfig(), mode="noop")
+    print(f"compiler pass: {compilation.instrumentation.total_hints} hints emitted, "
+          f"mean request {compilation.mean_requirement:.1f} IQ entries, "
+          f"{compilation.analysis_seconds * 1000:.0f} ms analysis time")
+
+    budget = dict(max_instructions=15_000, warmup_instructions=5_000)
+    baseline_policy = BaselinePolicy()
+    baseline = simulate(program, baseline_policy, **budget)
+    baseline_power = build_power_report(baseline, baseline_policy)
+
+    runs = {
+        "abella": (program, AbellaPolicy()),
+        "software (NOOP)": (compilation.instrumented_program, SoftwareDirectedPolicy("noop")),
+    }
+    print(f"\n{'technique':18s} {'IPC':>6s} {'IPC loss':>9s} {'IQ occ':>7s} "
+          f"{'IQ dyn save':>12s} {'IQ stat save':>13s}")
+    print(f"{'baseline':18s} {baseline.ipc:6.2f} {'-':>9s} {baseline.avg_iq_occupancy:7.1f} "
+          f"{'-':>12s} {'-':>13s}")
+    for name, (prog, policy) in runs.items():
+        stats = simulate(prog, policy, **budget)
+        savings = power_savings(baseline_power, build_power_report(stats, policy))
+        loss = 100 * (1 - stats.ipc / baseline.ipc)
+        print(f"{name:18s} {stats.ipc:6.2f} {loss:8.1f}% {stats.avg_iq_occupancy:7.1f} "
+              f"{100 * savings.iq_dynamic:11.1f}% {100 * savings.iq_static:12.1f}%")
+
+
+if __name__ == "__main__":
+    main()

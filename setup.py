@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables the
+legacy `pip install -e .` code path on environments whose setuptools cannot
+build PEP 660 editable wheels.
+"""
+from setuptools import setup
+
+setup()

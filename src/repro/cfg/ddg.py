@@ -1,0 +1,205 @@
+"""Data-dependence-graph construction.
+
+The compiler's DAG analysis (section 4.2) and loop analysis (section 4.3)
+both operate on a data-dependence graph whose edges are labelled with the
+producing instruction's latency.  Nodes are positions (indices) into the
+instruction sequence being analysed, which is either a basic block, a DAG
+region in layout order, or a loop body.
+
+Loop-carried register dependences (distance 1) are included when requested:
+if an instruction reads a register with no earlier writer in the current
+iteration, but some instruction in the body writes it, the dependence comes
+from the previous iteration.  Memory dependences are handled conservatively:
+every load or store depends on the nearest preceding store (no alias
+analysis), matching the paper's conservative treatment of memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import ZERO_REG, Reg
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """A dependence from producer ``src`` to consumer ``dst``.
+
+    Attributes:
+        src: index of the producing instruction.
+        dst: index of the consuming instruction.
+        latency: cycles after the producer issues before the consumer may issue.
+        distance: iteration distance (0 = same iteration, 1 = previous iteration).
+    """
+
+    src: int
+    dst: int
+    latency: int
+    distance: int = 0
+
+
+@dataclass
+class DataDependenceGraph:
+    """A dependence graph over an instruction sequence.
+
+    Attributes:
+        instructions: the analysed instruction sequence.
+        edges: every dependence edge.
+        succs: adjacency list of outgoing edges per node.
+        preds: adjacency list of incoming edges per node.
+    """
+
+    instructions: list[Instruction]
+    edges: list[DependenceEdge] = field(default_factory=list)
+    succs: dict[int, list[DependenceEdge]] = field(default_factory=dict)
+    preds: dict[int, list[DependenceEdge]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for index in range(len(self.instructions)):
+            self.succs.setdefault(index, [])
+            self.preds.setdefault(index, [])
+
+    def add_edge(self, edge: DependenceEdge) -> None:
+        """Insert ``edge`` into the graph."""
+        self.edges.append(edge)
+        self.succs[edge.src].append(edge)
+        self.preds[edge.dst].append(edge)
+
+    def intra_edges(self) -> list[DependenceEdge]:
+        """Edges within one iteration (distance 0)."""
+        return [edge for edge in self.edges if edge.distance == 0]
+
+    def carried_edges(self) -> list[DependenceEdge]:
+        """Loop-carried edges (distance >= 1)."""
+        return [edge for edge in self.edges if edge.distance >= 1]
+
+    def roots(self) -> list[int]:
+        """Nodes with no same-iteration predecessors."""
+        return [
+            index
+            for index in range(len(self.instructions))
+            if not any(edge.distance == 0 for edge in self.preds[index])
+        ]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _written_regs(instruction: Instruction) -> Iterable[Reg]:
+    """Registers architecturally written by the instruction (excluding r0)."""
+    for reg in instruction.dests:
+        if reg.is_fp or reg.index != ZERO_REG:
+            yield reg
+
+
+def _read_regs(instruction: Instruction) -> Iterable[Reg]:
+    """Registers architecturally read by the instruction (excluding r0)."""
+    for reg in instruction.srcs:
+        if reg.is_fp or reg.index != ZERO_REG:
+            yield reg
+
+
+def build_ddg(
+    instructions: Sequence[Instruction],
+    include_loop_carried: bool = False,
+    entry_latency: dict[Reg, int] | None = None,
+) -> DataDependenceGraph:
+    """Build the data-dependence graph of ``instructions``.
+
+    Args:
+        instructions: the sequence to analyse, in program order.  Hint NOOPs
+            may be present; they produce and consume nothing so they simply
+            become isolated nodes.
+        include_loop_carried: when True, register and memory dependences
+            that wrap around to the previous iteration are added with
+            ``distance=1`` (used by the loop analysis).
+        entry_latency: optional map from register to the number of cycles
+            after region entry before that register's value is available.
+            This is the conservative path summary the DAG analysis threads
+            from block to block; it is not recorded as graph edges, but the
+            pseudo-issue-queue scheduler consumes it alongside the graph.
+
+    Returns:
+        The dependence graph.  ``entry_latency`` is attached as the
+        ``entry_latency`` attribute for downstream consumers.
+    """
+    instruction_list = list(instructions)
+    ddg = DataDependenceGraph(instructions=instruction_list)
+
+    last_writer: dict[Reg, int] = {}
+    last_store: int | None = None
+
+    for index, instr in enumerate(instruction_list):
+        # Register RAW dependences within the iteration.
+        for reg in _read_regs(instr):
+            writer = last_writer.get(reg)
+            if writer is not None:
+                ddg.add_edge(
+                    DependenceEdge(
+                        src=writer,
+                        dst=index,
+                        latency=instruction_list[writer].latency,
+                        distance=0,
+                    )
+                )
+        # Conservative memory dependences: nearest preceding store.
+        if instr.is_memory and last_store is not None:
+            ddg.add_edge(
+                DependenceEdge(
+                    src=last_store,
+                    dst=index,
+                    latency=instruction_list[last_store].latency,
+                    distance=0,
+                )
+            )
+        for reg in _written_regs(instr):
+            last_writer[reg] = index
+        if instr.is_store:
+            last_store = index
+
+    if include_loop_carried:
+        _add_loop_carried_edges(ddg, last_writer, last_store)
+
+    ddg.entry_latency = dict(entry_latency or {})
+    return ddg
+
+
+def _add_loop_carried_edges(
+    ddg: DataDependenceGraph,
+    final_writer: dict[Reg, int],
+    final_store: int | None,
+) -> None:
+    """Add distance-1 edges from the end of one iteration to the start of the next."""
+    instruction_list = ddg.instructions
+    seen_writer: dict[Reg, int] = {}
+    seen_store = False
+
+    for index, instr in enumerate(instruction_list):
+        for reg in _read_regs(instr):
+            if reg not in seen_writer and reg in final_writer:
+                # No writer earlier in this iteration: the value comes from
+                # the previous iteration's final writer.
+                writer = final_writer[reg]
+                ddg.add_edge(
+                    DependenceEdge(
+                        src=writer,
+                        dst=index,
+                        latency=instruction_list[writer].latency,
+                        distance=1,
+                    )
+                )
+        if instr.is_memory and not seen_store and final_store is not None:
+            ddg.add_edge(
+                DependenceEdge(
+                    src=final_store,
+                    dst=index,
+                    latency=instruction_list[final_store].latency,
+                    distance=1,
+                )
+            )
+        for reg in _written_regs(instr):
+            seen_writer.setdefault(reg, index)
+        if instr.is_store:
+            seen_store = True

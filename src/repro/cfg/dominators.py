@@ -1,0 +1,64 @@
+"""Dominator analysis.
+
+Natural-loop detection needs dominators: an edge ``n -> h`` is a back edge
+(and ``h`` a loop header) exactly when ``h`` dominates ``n``.  The iterative
+data-flow formulation is used; procedure CFGs in this project are small
+(tens to a few hundred blocks) so the simple algorithm is more than fast
+enough and easy to verify.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> dict[str, set[str]]:
+    """Return, for each reachable block, the set of blocks that dominate it.
+
+    Unreachable blocks are omitted from the result.
+    """
+    order = cfg.reverse_postorder()
+    reachable = set(order)
+    entry = cfg.entry
+
+    dominators: dict[str, set[str]] = {label: set(reachable) for label in order}
+    dominators[entry] = {entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry:
+                continue
+            preds = [p for p in cfg.pred(label) if p in reachable]
+            if preds:
+                new_set = set.intersection(*(dominators[p] for p in preds))
+            else:
+                new_set = set()
+            new_set = new_set | {label}
+            if new_set != dominators[label]:
+                dominators[label] = new_set
+                changed = True
+    return dominators
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> dict[str, str]:
+    """Return the immediate dominator of each reachable block except the entry."""
+    dominators = compute_dominators(cfg)
+    idom: dict[str, str] = {}
+    for label, doms in dominators.items():
+        if label == cfg.entry:
+            continue
+        strict = doms - {label}
+        # The immediate dominator is the strict dominator dominated by every
+        # other strict dominator.
+        for candidate in strict:
+            if all(candidate in dominators[other] for other in strict):
+                idom[label] = candidate
+                break
+    return idom
+
+
+def dominates(dominators: dict[str, set[str]], a: str, b: str) -> bool:
+    """True when block ``a`` dominates block ``b`` according to ``dominators``."""
+    return a in dominators.get(b, set())

@@ -1,0 +1,133 @@
+"""Control-flow graph construction.
+
+Control flow in the IR is structural: a block's successors are determined by
+its terminating instruction (branch target plus fall-through, unconditional
+jump target, return/halt with no successors) or, with no terminator, the
+next block in layout order.  Calls transfer control to another procedure and
+return, so for intra-procedural analysis a call behaves like a fall-through
+edge; DAG-region formation (see :mod:`repro.cfg.dag_regions`) treats the
+call as a region boundary instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.isa.program import BasicBlock, Procedure
+
+
+@dataclass
+class ControlFlowGraph:
+    """A per-procedure control-flow graph over basic-block labels.
+
+    Attributes:
+        procedure: the procedure the graph describes.
+        successors: mapping from block label to successor labels, in
+            (taken-target, fall-through) order where applicable.
+        predecessors: reverse adjacency.
+    """
+
+    procedure: Procedure
+    successors: dict[str, list[str]] = field(default_factory=dict)
+    predecessors: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> str:
+        """Label of the procedure's entry block."""
+        return self.procedure.entry_block.label
+
+    @property
+    def labels(self) -> list[str]:
+        """All block labels in layout order."""
+        return [block.label for block in self.procedure.blocks]
+
+    def block(self, label: str) -> BasicBlock:
+        """Return the basic block named ``label``."""
+        found = self.procedure.find_block(label)
+        if found is None:
+            raise KeyError(f"no block {label!r} in procedure {self.procedure.name}")
+        return found
+
+    def succ(self, label: str) -> list[str]:
+        """Successor labels of ``label``."""
+        return self.successors.get(label, [])
+
+    def pred(self, label: str) -> list[str]:
+        """Predecessor labels of ``label``."""
+        return self.predecessors.get(label, [])
+
+    def reverse_postorder(self) -> list[str]:
+        """Blocks reachable from the entry, in reverse post-order."""
+        visited: set[str] = set()
+        postorder: list[str] = []
+
+        def visit(label: str) -> None:
+            stack = [(label, iter(self.succ(label)))]
+            visited.add(label)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for nxt in successors:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(self.succ(nxt))))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(postorder))
+
+    def reachable(self) -> set[str]:
+        """Labels of blocks reachable from the entry."""
+        return set(self.reverse_postorder())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.successors
+
+
+def _block_successors(procedure: Procedure, index: int) -> list[str]:
+    """Compute successor labels for the block at layout position ``index``."""
+    block = procedure.blocks[index]
+    next_label: Optional[str] = None
+    if index + 1 < len(procedure.blocks):
+        next_label = procedure.blocks[index + 1].label
+
+    term = block.terminator
+    successors: list[str] = []
+    if term is None:
+        if next_label is not None:
+            successors.append(next_label)
+        return successors
+
+    if term.is_branch:
+        successors.append(term.target)  # taken path
+        if next_label is not None:
+            successors.append(next_label)  # fall-through path
+    elif term.opcode.name == "JUMP":
+        successors.append(term.target)
+    elif term.is_call:
+        # Control returns to the instruction after the call.
+        if next_label is not None:
+            successors.append(next_label)
+    # RET and HALT have no intra-procedural successors.
+    return successors
+
+
+def build_cfg(procedure: Procedure) -> ControlFlowGraph:
+    """Build the control-flow graph of ``procedure``."""
+    cfg = ControlFlowGraph(procedure=procedure)
+    for label in (block.label for block in procedure.blocks):
+        cfg.successors[label] = []
+        cfg.predecessors[label] = []
+    for index, block in enumerate(procedure.blocks):
+        for succ_label in _block_successors(procedure, index):
+            cfg.successors[block.label].append(succ_label)
+            cfg.predecessors[succ_label].append(block.label)
+    return cfg

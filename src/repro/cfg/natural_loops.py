@@ -1,0 +1,117 @@
+"""Natural-loop detection.
+
+Mirrors the MachineSUIF loop analysis the paper uses (section 4.1): natural
+loops are found from back edges, and where a loop contains an inner loop the
+inner loop's blocks are analysed once, as their own loop, while the blocks
+that belong only to the outer loop form a second, separate loop region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.graph import ControlFlowGraph
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop discovered in a procedure's CFG.
+
+    Attributes:
+        header: label of the loop header block.
+        body: labels of every block in the loop (header included).
+        back_edges: the (tail, header) edges that define the loop.
+        depth: nesting depth (1 = outermost).
+        exclusive_body: labels belonging to this loop but to no inner loop;
+            this is the set the compiler pass analyses for this loop, so
+            inner-loop blocks are not analysed twice (section 4.1).
+    """
+
+    header: str
+    body: set[str] = field(default_factory=set)
+    back_edges: list[tuple[str, str]] = field(default_factory=list)
+    depth: int = 1
+    exclusive_body: set[str] = field(default_factory=set)
+
+    def contains(self, label: str) -> bool:
+        """True when ``label`` is part of this loop."""
+        return label in self.body
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+
+def _loop_body_for_back_edge(cfg: ControlFlowGraph, tail: str, header: str) -> set[str]:
+    """Blocks in the natural loop of back edge ``tail -> header``.
+
+    The reverse walk from the tail stops at the header (the header's own
+    predecessors are outside the loop); in particular a self-loop back edge
+    (``tail == header``) yields just the header block.
+    """
+    body = {header}
+    stack: list[str] = []
+    if tail not in body:
+        body.add(tail)
+        stack.append(tail)
+    while stack:
+        label = stack.pop()
+        for pred in cfg.pred(label):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def find_natural_loops(cfg: ControlFlowGraph) -> list[NaturalLoop]:
+    """Find every natural loop in ``cfg``.
+
+    Loops sharing a header are merged (standard practice).  The returned
+    loops carry nesting depth and the exclusive body described in
+    :class:`NaturalLoop`.  Loops are returned innermost-first so that a
+    caller analysing them in order sees inner loops before their parents.
+    """
+    dominators = compute_dominators(cfg)
+    reachable = set(dominators)
+
+    loops_by_header: dict[str, NaturalLoop] = {}
+    for label in reachable:
+        for succ in cfg.succ(label):
+            if succ in dominators.get(label, set()):
+                # label -> succ is a back edge; succ is the header.
+                loop = loops_by_header.setdefault(succ, NaturalLoop(header=succ))
+                loop.back_edges.append((label, succ))
+                loop.body |= _loop_body_for_back_edge(cfg, label, succ)
+
+    loops = list(loops_by_header.values())
+
+    # Nesting depth: a loop is nested in another when its body is a strict
+    # subset of the other's body (or equal with a different header dominated
+    # by the other's header, which merged-header loops avoid).
+    for loop in loops:
+        loop.depth = 1 + sum(
+            1
+            for other in loops
+            if other is not loop and loop.body < other.body
+        )
+
+    # Exclusive body: remove blocks claimed by any strictly deeper loop.
+    for loop in loops:
+        inner_blocks: set[str] = set()
+        for other in loops:
+            if other is not loop and other.body < loop.body:
+                inner_blocks |= other.body
+        loop.exclusive_body = loop.body - inner_blocks
+        # The header always belongs to its own loop's analysis region.
+        loop.exclusive_body.add(loop.header)
+
+    loops.sort(key=lambda loop: -loop.depth)
+    return loops
+
+
+def blocks_in_any_loop(loops: list[NaturalLoop]) -> set[str]:
+    """Union of all loop bodies; the complement is the DAG-region space."""
+    result: set[str] = set()
+    for loop in loops:
+        result |= loop.body
+    return result

@@ -1,0 +1,263 @@
+"""The full compiler pass (figure 5 of the paper).
+
+For every analysable procedure:
+
+1. find natural loops (inner loops analysed separately from the blocks that
+   belong only to the outer loop);
+2. form DAG regions from the remaining blocks, starting at the procedure
+   entry and after every procedure call;
+3. build dependence graphs and analyse each DAG block with the pseudo issue
+   queue, and each loop with the cyclic-dependence-set equations;
+4. (Improved mode only) refine requirements at hot call sites with
+   inter-procedural functional-unit-contention information;
+5. emit the requirements as special NOOPs or instruction tags.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfg.dag_regions import find_dag_regions
+from repro.cfg.graph import build_cfg
+from repro.cfg.natural_loops import find_natural_loops
+from repro.core.config import CompilerConfig
+from repro.core.dag_analysis import BlockRequirement, analyse_dag_region
+from repro.core.instrument import ALL_MODES, InstrumentationStats, instrument_program
+from repro.core.interprocedural import apply_interprocedural_refinement
+from repro.core.loop_analysis import LoopRequirement, analyse_loop
+from repro.isa.program import Program
+
+
+@dataclass
+class ProcedureAnalysis:
+    """Per-procedure analysis artefacts (for reporting and tests)."""
+
+    name: str
+    num_blocks: int = 0
+    num_loops: int = 0
+    num_dag_regions: int = 0
+    analysis_seconds: float = 0.0
+
+
+@dataclass
+class CompilationResult:
+    """Everything the compiler pass produces for one program.
+
+    Attributes:
+        program: the original, unmodified program.
+        instrumented_program: the copy carrying hints (NOOPs or tags).
+        mode: the hint encoding used.
+        block_requirements: (procedure, block) -> requirement for every
+            analysed block (DAG blocks and loop headers).
+        loop_requirements: per-loop analysis results.
+        preheader_hints: (procedure, block) -> value emitted at the end of
+            that block, i.e. immediately before a loop is entered.
+        instrumentation: emission statistics.
+        procedures: per-procedure analysis bookkeeping.
+        analysis_seconds: wall-clock time spent in analysis (excludes
+            instrumentation), the quantity table 2 of the paper reports.
+    """
+
+    program: Program
+    instrumented_program: Program
+    mode: str
+    block_requirements: dict[tuple[str, str], BlockRequirement] = field(default_factory=dict)
+    loop_requirements: list[LoopRequirement] = field(default_factory=list)
+    preheader_hints: dict[tuple[str, str], int] = field(default_factory=dict)
+    instrumentation: Optional[InstrumentationStats] = None
+    procedures: list[ProcedureAnalysis] = field(default_factory=list)
+    analysis_seconds: float = 0.0
+
+    def requirement_for(self, procedure: str, block: str) -> Optional[BlockRequirement]:
+        """Convenience lookup of a block's requirement."""
+        return self.block_requirements.get((procedure, block))
+
+    @property
+    def mean_requirement(self) -> float:
+        """Mean emitted requirement across all hinted blocks."""
+        if not self.block_requirements:
+            return 0.0
+        values = [req.entries for req in self.block_requirements.values()]
+        return sum(values) / len(values)
+
+
+def analyse_program(
+    program: Program, config: CompilerConfig
+) -> tuple[dict[tuple[str, str], BlockRequirement], list[LoopRequirement], list[ProcedureAnalysis]]:
+    """Run the intra-procedural analysis of figure 5 over every procedure."""
+    block_requirements: dict[tuple[str, str], BlockRequirement] = {}
+    loop_requirements: list[LoopRequirement] = []
+    procedure_stats: list[ProcedureAnalysis] = []
+
+    for procedure in program.analysable_procedures():
+        start = time.perf_counter()
+        cfg = build_cfg(procedure)
+        loops = find_natural_loops(cfg)
+        regions = find_dag_regions(cfg, loops)
+
+        for region in regions:
+            region_requirements = analyse_dag_region(cfg, region, config)
+            for label, requirement in region_requirements.items():
+                block_requirements[(procedure.name, label)] = requirement
+
+        for loop in loops:
+            ordered_labels = [
+                block.label
+                for block in procedure.blocks
+                if block.label in loop.exclusive_body
+            ]
+            blocks = [cfg.block(label) for label in ordered_labels]
+            loop_requirement = analyse_loop(
+                blocks,
+                config,
+                procedure_name=procedure.name,
+                header_label=loop.header,
+            )
+            loop_requirements.append(loop_requirement)
+            block_requirements[(procedure.name, loop.header)] = (
+                loop_requirement.as_block_requirement()
+            )
+
+        elapsed = time.perf_counter() - start
+        procedure_stats.append(
+            ProcedureAnalysis(
+                name=procedure.name,
+                num_blocks=len(procedure.blocks),
+                num_loops=len(loops),
+                num_dag_regions=len(regions),
+                analysis_seconds=elapsed,
+            )
+        )
+
+    return block_requirements, loop_requirements, procedure_stats
+
+
+def compute_postcall_requirements(
+    program: Program,
+    block_requirements: dict[tuple[str, str], BlockRequirement],
+) -> dict[tuple[str, str], BlockRequirement]:
+    """Re-issue region sizes after procedure calls inside loops.
+
+    Section 4.4: "On returning from a function call, we restart analysing
+    the IQ requirements for the remainder of the callee procedure."  For
+    call sites inside loops the remainder is governed by the enclosing
+    loop's requirement, so the block that receives control after the call
+    gets a hint carrying the loop's value; without it the callee's (small)
+    last region would keep throttling every subsequent iteration.
+    """
+    additions: dict[tuple[str, str], BlockRequirement] = {}
+    for procedure in program.analysable_procedures():
+        cfg = build_cfg(procedure)
+        loops = find_natural_loops(cfg)
+        for loop in loops:
+            header_req = block_requirements.get((procedure.name, loop.header))
+            if header_req is None or header_req.source != "loop":
+                continue
+            for label in loop.body:
+                if label == loop.header:
+                    continue
+                key = (procedure.name, label)
+                if key in block_requirements or key in additions:
+                    continue
+                preds = [p for p in cfg.pred(label) if p in loop.body]
+                follows_call = any(
+                    any(instr.is_call for instr in cfg.block(pred).instructions)
+                    for pred in preds
+                )
+                if follows_call:
+                    additions[key] = BlockRequirement(
+                        procedure=procedure.name,
+                        label=label,
+                        entries=header_req.entries,
+                        raw_entries=header_req.raw_entries,
+                        schedule=None,
+                        source="postcall",
+                    )
+    return additions
+
+
+def compute_preheader_hints(
+    program: Program,
+    block_requirements: dict[tuple[str, str], BlockRequirement],
+) -> dict[tuple[str, str], int]:
+    """Decide where loop requirements are emitted.
+
+    A loop's requirement must be in force *before* the loop is entered and
+    must not be re-issued every iteration, so it is attached to the end of
+    every predecessor of the loop header that lies outside the loop.  If a
+    loop header has no such predecessor (the header is the procedure entry)
+    the value falls back to the header itself.
+    """
+    preheader_hints: dict[tuple[str, str], int] = {}
+
+    for procedure in program.analysable_procedures():
+        cfg = build_cfg(procedure)
+        loops = find_natural_loops(cfg)
+        for loop in loops:
+            key = (procedure.name, loop.header)
+            requirement = block_requirements.get(key)
+            if requirement is None or requirement.source != "loop":
+                continue
+            outside_preds = [
+                pred for pred in cfg.pred(loop.header) if pred not in loop.body
+            ]
+            targets = outside_preds or [loop.header]
+            for pred in targets:
+                pred_key = (procedure.name, pred)
+                preheader_hints[pred_key] = max(
+                    preheader_hints.get(pred_key, 0), requirement.entries
+                )
+    return preheader_hints
+
+
+def compile_program(
+    program: Program,
+    config: Optional[CompilerConfig] = None,
+    mode: str = "noop",
+) -> CompilationResult:
+    """Run the whole compiler pass on ``program`` and return its results.
+
+    Args:
+        program: the program to analyse (validated before analysis).
+        config: analysis parameters; defaults mirror table 1.
+        mode: ``"noop"``, ``"extension"`` or ``"improved"``.
+    """
+    if mode not in ALL_MODES:
+        raise ValueError(f"unknown compilation mode {mode!r}")
+    config = config or CompilerConfig()
+    program.validate()
+
+    start = time.perf_counter()
+    block_requirements, loop_requirements, procedure_stats = analyse_program(program, config)
+    if mode == "improved":
+        block_requirements = apply_interprocedural_refinement(
+            program, block_requirements, config, loop_requirements=loop_requirements
+        )
+    block_requirements.update(
+        compute_postcall_requirements(program, block_requirements)
+    )
+    preheader_hints = compute_preheader_hints(program, block_requirements)
+    analysis_seconds = time.perf_counter() - start
+
+    instrumented, stats = instrument_program(
+        program,
+        block_requirements,
+        config,
+        mode=mode,
+        preheader_hints=preheader_hints,
+    )
+    instrumented.validate()
+
+    return CompilationResult(
+        program=program,
+        instrumented_program=instrumented,
+        mode=mode,
+        block_requirements=block_requirements,
+        loop_requirements=loop_requirements,
+        preheader_hints=preheader_hints,
+        instrumentation=stats,
+        procedures=procedure_stats,
+        analysis_seconds=analysis_seconds,
+    )

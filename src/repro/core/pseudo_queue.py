@@ -1,0 +1,190 @@
+"""The compiler's pseudo issue queue (section 4.2, figure 3).
+
+"In the compiler we maintain a structure similar to the processor's issue
+queue.  We place the first few instructions in this pseudo issue queue and
+then iterate over it several times, removing instructions that are able to
+issue, recording their writeback times and placing new ones at the tail."
+
+The scheduler below reproduces that procedure: instructions issue as early
+as their dependences, the issue width and the functional-unit counts allow;
+each simulated cycle the oldest not-yet-issued instruction and the youngest
+issuing instruction are identified and the distance between them (inclusive)
+is the number of issue-queue entries that cycle needs.  The block's
+requirement is the maximum over all cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cfg.ddg import DataDependenceGraph, build_ddg
+from repro.core.config import CompilerConfig
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FuClass
+from repro.isa.registers import Reg
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one instruction sequence on the pseudo queue.
+
+    Attributes:
+        entries_needed: maximum issue-queue entries required on any cycle so
+            that no instruction is delayed beyond its dependence/resource
+            constrained issue time.
+        issue_cycle: per-instruction issue cycle.
+        writeback_cycle: per-instruction writeback cycle (issue + latency).
+        schedule_length: first cycle at which every instruction has issued.
+        per_cycle_need: entries required on each cycle (diagnostics/tests).
+        exit_latency: for each register written in the sequence, how many
+            cycles after the schedule finishes its value becomes available
+            (0 when already written back).  Used as the path summary
+            threaded to successor blocks.
+    """
+
+    entries_needed: int
+    issue_cycle: list[int]
+    writeback_cycle: list[int]
+    schedule_length: int
+    per_cycle_need: list[int] = field(default_factory=list)
+    exit_latency: dict[Reg, int] = field(default_factory=dict)
+
+
+class PseudoIssueQueue:
+    """Dependence- and resource-constrained scheduler for compiler analysis."""
+
+    def __init__(self, config: CompilerConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        instructions: Sequence[Instruction],
+        ddg: Optional[DataDependenceGraph] = None,
+        entry_latency: Optional[dict[Reg, int]] = None,
+    ) -> ScheduleResult:
+        """Schedule ``instructions`` and compute the IQ entries they need.
+
+        Args:
+            instructions: the sequence in program order.  Hint NOOPs are
+                ignored (they never occupy an IQ entry).
+            ddg: a pre-built dependence graph over exactly these
+                instructions; built on demand when omitted.
+            entry_latency: availability delay of registers defined before
+                the sequence starts (the conservative path summary).
+        """
+        work = [instr for instr in instructions if instr.occupies_iq]
+        if not work:
+            return ScheduleResult(
+                entries_needed=0,
+                issue_cycle=[],
+                writeback_cycle=[],
+                schedule_length=0,
+            )
+
+        if ddg is None or len(ddg.instructions) != len(work):
+            ddg = build_ddg(work, include_loop_carried=False)
+        entry_latency = dict(entry_latency or {})
+
+        config = self.config
+        count = len(work)
+        issue_cycle = [-1] * count
+        writeback_cycle = [0] * count
+        issued = [False] * count
+        remaining = count
+
+        per_cycle_need: list[int] = []
+        entries_needed = 0
+        cycle = 0
+        # Generous upper bound: every instruction serialised at max latency.
+        cycle_limit = sum(config.instruction_latency(instr) for instr in work) + count + 16
+
+        while remaining and cycle <= cycle_limit:
+            oldest_remaining = next(i for i in range(count) if not issued[i])
+            ready = self._ready_instructions(
+                work, ddg, entry_latency, issued, writeback_cycle, cycle
+            )
+            selected = self._select(work, ready)
+            if selected:
+                youngest = max(selected)
+                need = youngest - oldest_remaining + 1
+                per_cycle_need.append(need)
+                entries_needed = max(entries_needed, need)
+                for index in selected:
+                    issued[index] = True
+                    issue_cycle[index] = cycle
+                    writeback_cycle[index] = cycle + config.instruction_latency(work[index])
+                    remaining -= 1
+            else:
+                per_cycle_need.append(0)
+            cycle += 1
+
+        schedule_length = cycle
+        exit_latency = self._exit_latency(work, writeback_cycle, schedule_length)
+        return ScheduleResult(
+            entries_needed=entries_needed,
+            issue_cycle=issue_cycle,
+            writeback_cycle=writeback_cycle,
+            schedule_length=schedule_length,
+            per_cycle_need=per_cycle_need,
+            exit_latency=exit_latency,
+        )
+
+    # ------------------------------------------------------------------
+    def _ready_instructions(
+        self,
+        work: list[Instruction],
+        ddg: DataDependenceGraph,
+        entry_latency: dict[Reg, int],
+        issued: list[bool],
+        writeback_cycle: list[int],
+        cycle: int,
+    ) -> list[int]:
+        """Indices of unissued instructions whose dependences are satisfied."""
+        ready: list[int] = []
+        for index, instr in enumerate(work):
+            if issued[index]:
+                continue
+            # Values defined before the region must have arrived.
+            if any(entry_latency.get(reg, 0) > cycle for reg in instr.srcs):
+                continue
+            ok = True
+            for edge in ddg.preds[index]:
+                if edge.distance != 0:
+                    continue
+                if not issued[edge.src] or writeback_cycle[edge.src] > cycle:
+                    ok = False
+                    break
+            if ok:
+                ready.append(index)
+        return ready
+
+    def _select(self, work: list[Instruction], ready: list[int]) -> list[int]:
+        """Apply issue-width and functional-unit constraints, oldest first."""
+        config = self.config
+        selected: list[int] = []
+        fu_used: dict[FuClass, int] = {}
+        for index in ready:
+            if len(selected) >= config.issue_width:
+                break
+            fu = work[index].fu_class
+            limit = config.fu_counts.get(fu, config.issue_width)
+            if fu_used.get(fu, 0) >= limit:
+                continue
+            fu_used[fu] = fu_used.get(fu, 0) + 1
+            selected.append(index)
+        return selected
+
+    def _exit_latency(
+        self,
+        work: list[Instruction],
+        writeback_cycle: list[int],
+        schedule_length: int,
+    ) -> dict[Reg, int]:
+        """Availability delay of each written register relative to block exit."""
+        exit_latency: dict[Reg, int] = {}
+        for index, instr in enumerate(work):
+            for reg in instr.dests:
+                exit_latency[reg] = max(0, writeback_cycle[index] - schedule_length)
+        return exit_latency

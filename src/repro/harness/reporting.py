@@ -1,0 +1,57 @@
+"""Text reporting helpers and the whole-processor savings estimate."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.harness.experiment import SuiteRunner
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 2
+) -> str:
+    """Render ``rows`` as a plain-text table with ``headers``."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(f"{value:.{precision}f}")
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+#: Fractions of whole-processor power the paper attributes to the issue
+#: queue and the integer register file in its section 6 estimate.
+IQ_SHARE_OF_PROCESSOR = 0.22
+RF_SHARE_OF_PROCESSOR = 0.11
+
+
+def overall_processor_savings(
+    runner: SuiteRunner,
+    technique: str = "improved",
+    iq_share: float = IQ_SHARE_OF_PROCESSOR,
+    rf_share: float = RF_SHARE_OF_PROCESSOR,
+) -> float:
+    """Section 6's whole-processor dynamic-power estimate, in percent.
+
+    The paper assumes the issue queue and integer register file consume 22%
+    and 11% of whole-processor power and concludes roughly 11% overall
+    dynamic savings for the Improved scheme.
+    """
+    iq_saving = runner.average(technique, "iq_dynamic_saving_pct")
+    rf_saving = runner.average(technique, "rf_dynamic_saving_pct")
+    return iq_share * iq_saving + rf_share * rf_saving

@@ -1,0 +1,106 @@
+"""Reproduction of the paper's tables.
+
+* Table 1 is the processor configuration; :func:`table1` renders the
+  configuration actually used by a run so it can be eyeballed against the
+  paper.
+* Table 2 is per-benchmark compile time, baseline versus the full pass;
+  :func:`table2` measures both for every benchmark of the synthetic suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import CompilationReport, CompileTimeTable, compare_compile_times
+from repro.harness.experiment import RunConfig, SuiteRunner
+from repro.harness.reporting import format_table
+from repro.uarch.config import ProcessorConfig
+from repro.workloads import build_benchmark
+
+
+def table1(config: ProcessorConfig | None = None) -> str:
+    """Render the processor configuration in the shape of the paper's table 1."""
+    config = config or ProcessorConfig.hpca2005()
+    rows = [
+        ("Fetch, decode and commit width", f"{config.fetch_width} instructions"),
+        (
+            "Branch predictor",
+            f"Hybrid {config.branch.gshare_entries // 1024}K gshare, "
+            f"{config.branch.bimodal_entries // 1024}K bimodal, "
+            f"{config.branch.selector_entries // 1024}K selector",
+        ),
+        ("BTB", f"{config.branch.btb_entries} entries, {config.branch.btb_assoc}-way"),
+        (
+            "L1 Icache",
+            f"{config.l1i.size_bytes // 1024}KB, {config.l1i.assoc}-way, "
+            f"{config.l1i.line_bytes}B line, {config.l1i.hit_latency} cycle hit",
+        ),
+        (
+            "L1 Dcache",
+            f"{config.l1d.size_bytes // 1024}KB, {config.l1d.assoc}-way, "
+            f"{config.l1d.line_bytes}B line, {config.l1d.hit_latency} cycles hit",
+        ),
+        (
+            "Unified L2 cache",
+            f"{config.l2.size_bytes // 1024}KB, {config.l2.assoc}-way, "
+            f"{config.l2.line_bytes}B line, {config.l2.hit_latency} cycles hit, "
+            f"{config.l2.hit_latency + config.l2_miss_latency} cycles miss",
+        ),
+        ("ROB size", f"{config.rob_entries} entries"),
+        ("Issue queue", f"{config.iq_entries} entries"),
+        (
+            "Int register file",
+            f"{config.int_phys_regs} entries "
+            f"({config.int_regfile_banks} banks of {config.regfile_bank_size})",
+        ),
+        (
+            "FP register file",
+            f"{config.fp_phys_regs} entries "
+            f"({config.fp_phys_regs // config.regfile_bank_size} banks of "
+            f"{config.regfile_bank_size})",
+        ),
+    ]
+    return format_table(["Parameter", "Configuration"], rows)
+
+
+@dataclass
+class Table2Result:
+    """Compile-time table plus a rendered view."""
+
+    table: CompileTimeTable = field(default_factory=CompileTimeTable)
+
+    def to_text(self) -> str:
+        """Render in the shape of the paper's table 2."""
+        rows = [
+            (
+                row.program_name,
+                row.baseline_seconds,
+                row.limited_seconds,
+                row.slowdown,
+                row.num_blocks,
+                row.hints_emitted,
+            )
+            for row in self.table.rows
+        ]
+        return format_table(
+            ["benchmark", "baseline (s)", "limited (s)", "slowdown", "blocks", "hints"],
+            rows,
+            precision=4,
+        )
+
+
+def table2(
+    runner: SuiteRunner | None = None, config: RunConfig | None = None
+) -> Table2Result:
+    """Measure baseline-vs-limited compile time for every benchmark."""
+    if runner is None:
+        runner = SuiteRunner(config)
+    result = Table2Result()
+    for name in runner.config.benchmarks:
+        program = build_benchmark(name)
+        compilation = runner.compilation(name, "noop")
+        report: CompilationReport = compare_compile_times(
+            program, runner.config.compiler_config, precomputed=compilation
+        )
+        result.table.rows.append(report)
+    return result

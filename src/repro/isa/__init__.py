@@ -1,0 +1,71 @@
+"""Instruction-set / intermediate-representation substrate.
+
+This package defines the RISC-like IR that both the compiler analysis
+(:mod:`repro.core`) and the out-of-order timing simulator
+(:mod:`repro.uarch`) operate on.  It plays the role that the Alpha ISA and
+the MachineSUIF IR play in the original paper.
+
+The public surface is:
+
+* :class:`~repro.isa.opcodes.Opcode` and :class:`~repro.isa.opcodes.FuClass`
+  -- operations, their functional-unit classes and latencies.
+* :class:`~repro.isa.instruction.Instruction` -- a single IR instruction,
+  including the special hint NOOP used by the paper's NOOP scheme and the
+  per-instruction tag used by the Extension scheme.
+* :class:`~repro.isa.program.Program`, :class:`~repro.isa.program.Procedure`
+  and :class:`~repro.isa.program.BasicBlock` -- the static program
+  containers the compiler analyses and the simulator executes.
+* :mod:`repro.isa.encoding` -- encoding/decoding of issue-queue size hints
+  into NOOP payloads and instruction tags.
+"""
+
+from repro.isa.opcodes import (
+    FuClass,
+    Opcode,
+    OPCODE_FU_CLASS,
+    OPCODE_LATENCY,
+    is_branch,
+    is_control,
+    is_memory,
+)
+from repro.isa.registers import (
+    NUM_ARCH_REGS,
+    Reg,
+    REG_NAMES,
+    RETURN_VALUE_REG,
+    STACK_POINTER_REG,
+    ZERO_REG,
+)
+from repro.isa.instruction import Instruction, InstructionKind
+from repro.isa.program import BasicBlock, Procedure, Program
+from repro.isa.encoding import (
+    HINT_MAX_VALUE,
+    decode_hint_payload,
+    encode_hint_payload,
+    make_hint_noop,
+)
+
+__all__ = [
+    "FuClass",
+    "Opcode",
+    "OPCODE_FU_CLASS",
+    "OPCODE_LATENCY",
+    "is_branch",
+    "is_control",
+    "is_memory",
+    "NUM_ARCH_REGS",
+    "Reg",
+    "REG_NAMES",
+    "RETURN_VALUE_REG",
+    "STACK_POINTER_REG",
+    "ZERO_REG",
+    "Instruction",
+    "InstructionKind",
+    "BasicBlock",
+    "Procedure",
+    "Program",
+    "HINT_MAX_VALUE",
+    "decode_hint_payload",
+    "encode_hint_payload",
+    "make_hint_noop",
+]

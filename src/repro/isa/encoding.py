@@ -1,0 +1,69 @@
+"""Encoding of issue-queue size hints.
+
+The paper passes the compiler's ``max_new_range`` value to the processor in
+one of two ways:
+
+* **NOOP scheme** (section 3): a special NOOP whose unused opcode bits carry
+  the IQ size.  The NOOP travels down the front end and is stripped in the
+  final decode stage, so it costs fetch and decode bandwidth but never
+  occupies an issue-queue entry.
+* **Extension scheme** (section 5.3): redundant bits of ordinary
+  instructions are used to tag the first instruction of each region with the
+  IQ size, removing the bandwidth cost.
+
+Both encodings carry the same payload; this module centralises the payload
+format so the compiler and the simulator agree on it.  The payload is a
+7-bit field (0..127), enough to express any size up to the 80-entry queue of
+table 1 and the 128-entry ROB.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+
+
+#: Number of payload bits available in the special NOOP / instruction tag.
+HINT_PAYLOAD_BITS = 7
+
+#: Largest encodable issue-queue size request.
+HINT_MAX_VALUE = (1 << HINT_PAYLOAD_BITS) - 1
+
+
+class HintEncodingError(ValueError):
+    """Raised when an IQ-size hint cannot be encoded in the payload field."""
+
+
+def encode_hint_payload(iq_entries: int) -> int:
+    """Clamp-and-encode an IQ-size request into the hint payload field.
+
+    Requests larger than the encodable maximum are clamped (the processor
+    additionally clamps to its physical queue size), but negative requests
+    are programming errors and raise :class:`HintEncodingError`.
+    """
+    if iq_entries < 0:
+        raise HintEncodingError(f"cannot encode negative IQ size {iq_entries}")
+    return min(iq_entries, HINT_MAX_VALUE)
+
+
+def decode_hint_payload(payload: int) -> int:
+    """Decode a payload field back into an IQ-size request."""
+    if not 0 <= payload <= HINT_MAX_VALUE:
+        raise HintEncodingError(f"hint payload {payload} outside {HINT_PAYLOAD_BITS}-bit range")
+    return payload
+
+
+def make_hint_noop(iq_entries: int) -> Instruction:
+    """Build a special NOOP instruction carrying ``iq_entries``."""
+    return Instruction.hint(encode_hint_payload(iq_entries))
+
+
+def tag_instruction(instruction: Instruction, iq_entries: int) -> Instruction:
+    """Attach an IQ-size tag to an ordinary instruction (Extension scheme).
+
+    The instruction is modified in place and returned for convenience.
+    Hint NOOPs cannot be tagged (they already carry a payload).
+    """
+    if instruction.is_hint:
+        raise HintEncodingError("hint NOOPs cannot additionally be tagged")
+    instruction.iq_tag = encode_hint_payload(iq_entries)
+    return instruction

@@ -1,0 +1,182 @@
+"""Opcodes, functional-unit classes and latencies for the IR.
+
+The operation mix mirrors the integer-dominated SPECint2000 workloads the
+paper evaluates: integer ALU operations, integer multiplies, loads, stores,
+conditional branches, unconditional jumps, calls and returns.  A small
+floating-point subset exists for completeness (the paper's processor has FP
+units, table 1) but the synthetic workloads use it sparingly, matching the
+paper's observation that SPECint executes few FP instructions.
+
+Latencies follow table 1 of the paper:
+
+* integer ALU: 1 cycle (6 units)
+* integer multiply: 3 cycles (3 units)
+* FP ALU: 2 cycles (4 units)
+* FP multiply: 4 cycles, FP divide: 12 cycles (2 units)
+* loads: 1 cycle address generation plus the data-cache access time
+  (2-cycle L1 hit in table 1), modelled by the memory hierarchy in
+  :mod:`repro.uarch.cache`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Every operation the IR supports."""
+
+    # Integer ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMP_LT = "cmplt"
+    CMP_EQ = "cmpeq"
+    MOV = "mov"
+    LI = "li"  # load immediate
+
+    # Integer multiply / divide (separate FU class).
+    MUL = "mul"
+    DIV = "div"
+
+    # Memory.
+    LOAD = "load"
+    STORE = "store"
+
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+
+    # Control flow.
+    BEQZ = "beqz"  # branch if register == 0
+    BNEZ = "bnez"  # branch if register != 0
+    JUMP = "jump"
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+
+    # No-ops.
+    NOP = "nop"
+    HINT = "hint"  # the paper's special NOOP carrying an IQ-size payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+class FuClass(enum.Enum):
+    """Functional-unit classes, matching table 1 of the paper."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    FP_ALU = "fp_alu"
+    FP_MULDIV = "fp_muldiv"
+    MEM_PORT = "mem_port"
+    NONE = "none"  # control/no-op instructions needing no execution resource
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FuClass.{self.name}"
+
+
+_INT_ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMP_LT,
+        Opcode.CMP_EQ,
+        Opcode.MOV,
+        Opcode.LI,
+    }
+)
+
+_BRANCH_OPS = frozenset({Opcode.BEQZ, Opcode.BNEZ})
+_CONTROL_OPS = frozenset(
+    {Opcode.BEQZ, Opcode.BNEZ, Opcode.JUMP, Opcode.CALL, Opcode.RET, Opcode.HALT}
+)
+_MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.STORE})
+
+
+#: Functional-unit class needed by each opcode.
+OPCODE_FU_CLASS: dict[Opcode, FuClass] = {}
+for _op in _INT_ALU_OPS:
+    OPCODE_FU_CLASS[_op] = FuClass.INT_ALU
+OPCODE_FU_CLASS[Opcode.MUL] = FuClass.INT_MUL
+OPCODE_FU_CLASS[Opcode.DIV] = FuClass.INT_MUL
+OPCODE_FU_CLASS[Opcode.LOAD] = FuClass.MEM_PORT
+OPCODE_FU_CLASS[Opcode.STORE] = FuClass.MEM_PORT
+OPCODE_FU_CLASS[Opcode.FADD] = FuClass.FP_ALU
+OPCODE_FU_CLASS[Opcode.FSUB] = FuClass.FP_ALU
+OPCODE_FU_CLASS[Opcode.FMUL] = FuClass.FP_MULDIV
+OPCODE_FU_CLASS[Opcode.FDIV] = FuClass.FP_MULDIV
+# Branches and compares execute on the integer ALUs, as in SimpleScalar.
+OPCODE_FU_CLASS[Opcode.BEQZ] = FuClass.INT_ALU
+OPCODE_FU_CLASS[Opcode.BNEZ] = FuClass.INT_ALU
+OPCODE_FU_CLASS[Opcode.JUMP] = FuClass.NONE
+OPCODE_FU_CLASS[Opcode.CALL] = FuClass.NONE
+OPCODE_FU_CLASS[Opcode.RET] = FuClass.NONE
+OPCODE_FU_CLASS[Opcode.HALT] = FuClass.NONE
+OPCODE_FU_CLASS[Opcode.NOP] = FuClass.NONE
+OPCODE_FU_CLASS[Opcode.HINT] = FuClass.NONE
+
+
+#: Execution latency in cycles for each opcode (table 1).  Loads carry the
+#: address-generation latency here; the cache adds the access time.
+OPCODE_LATENCY: dict[Opcode, int] = {}
+for _op in _INT_ALU_OPS:
+    OPCODE_LATENCY[_op] = 1
+OPCODE_LATENCY[Opcode.MUL] = 3
+OPCODE_LATENCY[Opcode.DIV] = 12
+OPCODE_LATENCY[Opcode.LOAD] = 1
+OPCODE_LATENCY[Opcode.STORE] = 1
+OPCODE_LATENCY[Opcode.FADD] = 2
+OPCODE_LATENCY[Opcode.FSUB] = 2
+OPCODE_LATENCY[Opcode.FMUL] = 4
+OPCODE_LATENCY[Opcode.FDIV] = 12
+OPCODE_LATENCY[Opcode.BEQZ] = 1
+OPCODE_LATENCY[Opcode.BNEZ] = 1
+OPCODE_LATENCY[Opcode.JUMP] = 1
+OPCODE_LATENCY[Opcode.CALL] = 1
+OPCODE_LATENCY[Opcode.RET] = 1
+OPCODE_LATENCY[Opcode.HALT] = 1
+OPCODE_LATENCY[Opcode.NOP] = 1
+OPCODE_LATENCY[Opcode.HINT] = 1
+
+
+def is_branch(opcode: Opcode) -> bool:
+    """Return True for conditional branches."""
+    return opcode in _BRANCH_OPS
+
+
+def is_control(opcode: Opcode) -> bool:
+    """Return True for any control-flow instruction (branch, jump, call, ret, halt)."""
+    return opcode in _CONTROL_OPS
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """Return True for loads and stores."""
+    return opcode in _MEMORY_OPS
+
+
+def is_int_alu(opcode: Opcode) -> bool:
+    """Return True for single-cycle integer ALU operations."""
+    return opcode in _INT_ALU_OPS
+
+
+def default_latency(opcode: Opcode) -> int:
+    """Return the execution latency of ``opcode`` in cycles."""
+    return OPCODE_LATENCY[opcode]
+
+
+def fu_class(opcode: Opcode) -> FuClass:
+    """Return the functional-unit class ``opcode`` executes on."""
+    return OPCODE_FU_CLASS[opcode]

@@ -1,0 +1,78 @@
+"""Architectural register model.
+
+The IR uses 32 integer architectural registers plus 16 floating-point
+registers, mirroring a RISC machine of the paper's era.  A handful of
+registers have conventional roles (zero register, stack pointer, return
+value); the workload generator respects these conventions so that generated
+programs execute correctly on the functional emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Number of integer architectural registers.
+NUM_ARCH_REGS = 32
+
+#: Number of floating-point architectural registers.
+NUM_FP_ARCH_REGS = 16
+
+#: Register 0 always reads as zero and writes to it are discarded.
+ZERO_REG = 0
+
+#: Conventional stack pointer.
+STACK_POINTER_REG = 29
+
+#: Conventional return-value register.
+RETURN_VALUE_REG = 2
+
+#: Conventional link register used by CALL/RET.
+LINK_REG = 31
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """A register operand.
+
+    Attributes:
+        index: architectural register number.
+        is_fp: True for a floating-point register, False for integer.
+    """
+
+    index: int
+    is_fp: bool = False
+
+    def __post_init__(self) -> None:
+        limit = NUM_FP_ARCH_REGS if self.is_fp else NUM_ARCH_REGS
+        if not 0 <= self.index < limit:
+            raise ValueError(
+                f"register index {self.index} out of range for "
+                f"{'fp' if self.is_fp else 'int'} register file (0..{limit - 1})"
+            )
+
+    @property
+    def name(self) -> str:
+        """Human-readable register name (``r5`` or ``f3``)."""
+        prefix = "f" if self.is_fp else "r"
+        return f"{prefix}{self.index}"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reg({self.name})"
+
+
+#: Names of all integer registers, for pretty-printing and tests.
+REG_NAMES = tuple(f"r{i}" for i in range(NUM_ARCH_REGS))
+
+
+def int_reg(index: int) -> Reg:
+    """Shorthand for an integer register operand."""
+    return Reg(index, is_fp=False)
+
+
+def fp_reg(index: int) -> Reg:
+    """Shorthand for a floating-point register operand."""
+    return Reg(index, is_fp=True)

@@ -1,0 +1,30 @@
+"""Wattch-style power model.
+
+The timing simulator (:mod:`repro.uarch`) records architectural events; the
+classes here turn them into issue-queue and register-file energy/power
+figures and into the *savings* percentages the paper's figures report.
+
+The model is event-based and relative, like Wattch at the abstraction level
+the paper uses it: absolute Joules are not meaningful, but the ratio between
+a technique run and the baseline run -- which is all the paper plots -- is
+determined by the event counts and a small set of energy coefficients
+(:class:`~repro.power.params.EnergyParams`).
+"""
+
+from repro.power.params import EnergyParams
+from repro.power.model import (
+    IssueQueuePowerBreakdown,
+    PowerReport,
+    RegisterFilePowerBreakdown,
+    build_power_report,
+    power_savings,
+)
+
+__all__ = [
+    "EnergyParams",
+    "IssueQueuePowerBreakdown",
+    "RegisterFilePowerBreakdown",
+    "PowerReport",
+    "build_power_report",
+    "power_savings",
+]

@@ -1,0 +1,195 @@
+"""Turning simulation event counts into power figures and savings.
+
+All of the paper's power results are *normalised savings*: the percentage
+by which a technique reduces dynamic or static power in the issue queue
+(figures 8 and 11) and the integer register file (figures 9 and 12),
+relative to the conventional baseline machine.  Savings are computed here
+as ``1 - P_technique / P_baseline`` where P is average power (energy per
+cycle), so runs of slightly different length compare fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.params import EnergyParams
+from repro.uarch.stats import SimulationStats
+
+
+@dataclass
+class IssueQueuePowerBreakdown:
+    """Issue-queue energy for one run, split by component.
+
+    Attributes:
+        wakeup: CAM comparator energy over the run.
+        dispatch_writes: RAM write energy at dispatch.
+        issue_reads: RAM read energy at issue.
+        selection: always-on selection-logic energy.
+        static: leakage energy (bank gating applied where enabled).
+        cycles: simulated cycles (for per-cycle power).
+    """
+
+    wakeup: float
+    dispatch_writes: float
+    issue_reads: float
+    selection: float
+    static: float
+    cycles: int
+
+    @property
+    def dynamic(self) -> float:
+        """Total dynamic energy."""
+        return self.wakeup + self.dispatch_writes + self.issue_reads + self.selection
+
+    @property
+    def dynamic_power(self) -> float:
+        """Average dynamic power (energy per cycle)."""
+        return self.dynamic / max(1, self.cycles)
+
+    @property
+    def static_power(self) -> float:
+        """Average static power (energy per cycle)."""
+        return self.static / max(1, self.cycles)
+
+
+@dataclass
+class RegisterFilePowerBreakdown:
+    """Integer register-file energy for one run."""
+
+    access: float
+    static: float
+    cycles: int
+
+    @property
+    def dynamic(self) -> float:
+        """Total dynamic energy."""
+        return self.access
+
+    @property
+    def dynamic_power(self) -> float:
+        """Average dynamic power."""
+        return self.access / max(1, self.cycles)
+
+    @property
+    def static_power(self) -> float:
+        """Average static power."""
+        return self.static / max(1, self.cycles)
+
+
+@dataclass
+class PowerReport:
+    """Issue-queue and register-file power for one simulation run."""
+
+    iq: IssueQueuePowerBreakdown
+    rf: RegisterFilePowerBreakdown
+    gating: str
+    iq_bank_gating: bool
+    rf_bank_gating: bool
+
+
+def _iq_breakdown(
+    stats: SimulationStats, params: EnergyParams, gating: str, bank_gating: bool
+) -> IssueQueuePowerBreakdown:
+    comparisons = stats.iq_cmp_gated if gating == "nonempty" else stats.iq_cmp_full
+    wakeup = comparisons * params.iq_cmp_energy
+    writes = stats.iq_dispatch_writes * params.iq_write_energy
+    reads = stats.iq_issue_reads * params.iq_read_energy
+    selection = stats.sampled_cycles * params.iq_selection_energy_per_cycle
+
+    total_bank_cycles = stats.sampled_cycles * stats.iq_banks_total
+    on_bank_cycles = stats.iq_banks_on_sum if bank_gating else total_bank_cycles
+    static = params.iq_bank_leakage * (
+        params.iq_ungated_static_fraction * total_bank_cycles
+        + (1.0 - params.iq_ungated_static_fraction) * on_bank_cycles
+    )
+    return IssueQueuePowerBreakdown(
+        wakeup=wakeup,
+        dispatch_writes=writes,
+        issue_reads=reads,
+        selection=selection,
+        static=static,
+        cycles=stats.sampled_cycles,
+    )
+
+
+def _rf_breakdown(
+    stats: SimulationStats, params: EnergyParams, bank_gating: bool
+) -> RegisterFilePowerBreakdown:
+    accesses = stats.rf_reads + stats.rf_writes
+    total_banks = max(1, stats.rf_banks_total)
+    if bank_gating and stats.sampled_cycles:
+        avg_banks_on = stats.rf_banks_on_sum / stats.sampled_cycles
+    else:
+        avg_banks_on = float(total_banks)
+    access_energy = accesses * (
+        params.rf_access_base + params.rf_access_per_bank * avg_banks_on
+    )
+
+    total_bank_cycles = stats.sampled_cycles * total_banks
+    on_bank_cycles = stats.rf_banks_on_sum if bank_gating else total_bank_cycles
+    static = params.rf_bank_leakage * (
+        params.rf_ungated_static_fraction * total_bank_cycles
+        + (1.0 - params.rf_ungated_static_fraction) * on_bank_cycles
+    )
+    return RegisterFilePowerBreakdown(
+        access=access_energy, static=static, cycles=stats.sampled_cycles
+    )
+
+
+def build_power_report(
+    stats: SimulationStats,
+    policy,
+    params: EnergyParams | None = None,
+) -> PowerReport:
+    """Cost a simulation run under ``policy``'s gating assumptions.
+
+    Args:
+        stats: event counts from the run.
+        policy: the resizing policy the run used (its gating flags select
+            which comparator count and bank counts apply).
+        params: energy coefficients (defaults are the calibrated set).
+    """
+    params = params or EnergyParams()
+    params.validate()
+    return PowerReport(
+        iq=_iq_breakdown(stats, params, policy.wakeup_gating, policy.iq_bank_gating),
+        rf=_rf_breakdown(stats, params, policy.rf_bank_gating),
+        gating=policy.wakeup_gating,
+        iq_bank_gating=policy.iq_bank_gating,
+        rf_bank_gating=policy.rf_bank_gating,
+    )
+
+
+@dataclass
+class PowerSavings:
+    """Savings of one technique relative to the baseline run (fractions)."""
+
+    iq_dynamic: float
+    iq_static: float
+    rf_dynamic: float
+    rf_static: float
+
+    def as_percentages(self) -> dict[str, float]:
+        """The four savings as percentages (for reports)."""
+        return {
+            "iq_dynamic_pct": 100.0 * self.iq_dynamic,
+            "iq_static_pct": 100.0 * self.iq_static,
+            "rf_dynamic_pct": 100.0 * self.rf_dynamic,
+            "rf_static_pct": 100.0 * self.rf_static,
+        }
+
+
+def _saving(baseline_power: float, technique_power: float) -> float:
+    if baseline_power <= 0:
+        return 0.0
+    return 1.0 - technique_power / baseline_power
+
+
+def power_savings(baseline: PowerReport, technique: PowerReport) -> PowerSavings:
+    """Normalised power savings of ``technique`` relative to ``baseline``."""
+    return PowerSavings(
+        iq_dynamic=_saving(baseline.iq.dynamic_power, technique.iq.dynamic_power),
+        iq_static=_saving(baseline.iq.static_power, technique.iq.static_power),
+        rf_dynamic=_saving(baseline.rf.dynamic_power, technique.rf.dynamic_power),
+        rf_static=_saving(baseline.rf.static_power, technique.rf.static_power),
+    )

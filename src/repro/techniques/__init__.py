@@ -1,0 +1,38 @@
+"""Issue-queue resizing techniques: the paper's scheme and its baselines.
+
+Each technique is a *policy* object plugged into the timing core.  A policy
+declares how wakeup is gated, whether issue-queue and register-file banks
+may be turned off, and whether compiler hints are honoured; it can also
+adjust limits every cycle (the hardware-adaptive abella scheme).
+
+Policies provided:
+
+* :class:`~repro.techniques.fixed.BaselinePolicy` -- conventional 80-entry
+  queue, ungated wakeup, all banks always on.  Every "savings" number in
+  the paper (and in this reproduction) is measured against this machine.
+* :class:`~repro.techniques.nonempty.NonEmptyPolicy` -- Folegnani &
+  González's precharge gating of empty/ready operands, no resizing
+  (the ``nonEmpty`` bar of figure 8).
+* :class:`~repro.techniques.abella.AbellaPolicy` -- the IqRob64 hardware
+  heuristic of Abella & González: periodically shrinks/grows the usable
+  issue queue and ROB based on observed behaviour.
+* :class:`~repro.techniques.software.SoftwareDirectedPolicy` -- the paper's
+  contribution: the compiler's hints drive the ``new_head``/``max_new_range``
+  mechanism (NOOP, Extension and Improved variants differ only in how the
+  program was instrumented).
+"""
+
+from repro.techniques.base import ResizingPolicy
+from repro.techniques.fixed import BaselinePolicy, FixedLimitPolicy
+from repro.techniques.nonempty import NonEmptyPolicy
+from repro.techniques.abella import AbellaPolicy
+from repro.techniques.software import SoftwareDirectedPolicy
+
+__all__ = [
+    "ResizingPolicy",
+    "BaselinePolicy",
+    "FixedLimitPolicy",
+    "NonEmptyPolicy",
+    "AbellaPolicy",
+    "SoftwareDirectedPolicy",
+]

@@ -1,0 +1,51 @@
+"""Policy interface shared by every issue-queue management technique."""
+
+from __future__ import annotations
+
+import abc
+
+
+class ResizingPolicy(abc.ABC):
+    """Base class for issue-queue management policies.
+
+    Subclasses override the class attributes to declare their gating
+    behaviour and the hooks to react to hints and cycle boundaries.
+
+    Attributes:
+        name: short identifier used by the harness and reports.
+        wakeup_gating: ``"full"`` for a conventional CAM that precharges and
+            compares every operand slot on every broadcast, or
+            ``"nonempty"`` when empty and already-ready operands are gated
+            off (Folegnani & González).
+        iq_bank_gating: True when issue-queue banks holding no valid entry
+            are powered down.
+        rf_bank_gating: True when register-file banks holding no allocated
+            register are powered down.
+        uses_hints: True when compiler hints (special NOOPs or instruction
+            tags) drive the ``new_head``/``max_new_range`` mechanism.
+    """
+
+    name: str = "abstract"
+    wakeup_gating: str = "full"
+    iq_bank_gating: bool = False
+    rf_bank_gating: bool = False
+    uses_hints: bool = False
+
+    def on_simulation_start(self, core) -> None:
+        """Called once, after the core's structures exist."""
+
+    def on_hint(self, core, value: int) -> None:
+        """Called when a hint NOOP is stripped or a tagged instruction dispatches."""
+
+    def on_cycle_end(self, core) -> None:
+        """Called at the end of every simulated cycle."""
+
+    def describe(self) -> dict:
+        """Summary of the policy's static properties (for reports)."""
+        return {
+            "name": self.name,
+            "wakeup_gating": self.wakeup_gating,
+            "iq_bank_gating": self.iq_bank_gating,
+            "rf_bank_gating": self.rf_bank_gating,
+            "uses_hints": self.uses_hints,
+        }

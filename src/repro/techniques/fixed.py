@@ -1,0 +1,44 @@
+"""Baseline (conventional) issue-queue policies."""
+
+from __future__ import annotations
+
+from repro.techniques.base import ResizingPolicy
+
+
+class BaselinePolicy(ResizingPolicy):
+    """The reference machine every saving is measured against.
+
+    Full 80-entry queue, ungated wakeup (every operand slot precharged and
+    compared on every broadcast), every bank of the issue queue and the
+    register file permanently powered.
+    """
+
+    name = "baseline"
+    wakeup_gating = "full"
+    iq_bank_gating = False
+    rf_bank_gating = False
+    uses_hints = False
+
+
+class FixedLimitPolicy(ResizingPolicy):
+    """A statically limited queue (useful for ablations and tests).
+
+    The queue never grows beyond ``limit`` occupied slots; wakeup gating and
+    bank gating follow the software scheme so the only variable is the
+    static limit itself.
+    """
+
+    name = "fixed-limit"
+    wakeup_gating = "nonempty"
+    iq_bank_gating = True
+    rf_bank_gating = True
+    uses_hints = False
+
+    def __init__(self, limit: int):
+        if limit <= 0:
+            raise ValueError("fixed issue-queue limit must be positive")
+        self.limit = limit
+        self.name = f"fixed-{limit}"
+
+    def on_simulation_start(self, core) -> None:
+        core.iq.set_global_limit(self.limit)

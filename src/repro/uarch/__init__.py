@@ -1,0 +1,34 @@
+"""Cycle-level out-of-order superscalar simulator.
+
+This package is the reproduction's stand-in for SimpleScalar/Wattch: a
+trace-driven, event-accurate timing model of the processor in table 1 of
+the paper, extended with the small issue-queue changes of section 3
+(``new_head`` pointer, ``max_new_range`` register, hint-NOOP stripping and
+instruction tags).
+
+Main entry points:
+
+* :class:`~repro.uarch.config.ProcessorConfig` -- the machine description
+  (``ProcessorConfig.hpca2005()`` is table 1).
+* :class:`~repro.uarch.emulator.FunctionalEmulator` -- architectural
+  execution of an IR program, producing the committed instruction stream.
+* :class:`~repro.uarch.core.OutOfOrderCore` -- the timing model; pair it
+  with a resizing policy from :mod:`repro.techniques` and run.
+* :func:`~repro.uarch.core.simulate` -- convenience wrapper that wires the
+  emulator, the core, a policy and the statistics together.
+"""
+
+from repro.uarch.config import ProcessorConfig
+from repro.uarch.emulator import DynamicInstruction, EmulationLimitExceeded, FunctionalEmulator
+from repro.uarch.stats import SimulationStats
+from repro.uarch.core import OutOfOrderCore, simulate
+
+__all__ = [
+    "ProcessorConfig",
+    "DynamicInstruction",
+    "EmulationLimitExceeded",
+    "FunctionalEmulator",
+    "SimulationStats",
+    "OutOfOrderCore",
+    "simulate",
+]

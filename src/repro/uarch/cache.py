@@ -1,0 +1,95 @@
+"""Set-associative caches and the two-level memory hierarchy of table 1.
+
+The hierarchy is: 64KB 2-way L1 instruction cache (1-cycle hit), 64KB 4-way
+L1 data cache (2-cycle hit) and a unified 512KB 8-way L2 (10-cycle hit,
+50-cycle miss to memory).  Caches use true LRU within a set, which is cheap
+at these associativities and deterministic for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import CacheConfig, ProcessorConfig
+
+
+class SetAssociativeCache:
+    """One cache level with LRU replacement."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.num_sets, line
+
+    def access(self, address: int) -> bool:
+        """Access ``address``; return True on a hit and update LRU state."""
+        self.accesses += 1
+        set_index, line = self._locate(address)
+        entry_set = self._sets[set_index]
+        if line in entry_set:
+            entry_set.remove(line)
+            entry_set.insert(0, line)
+            return True
+        self.misses += 1
+        entry_set.insert(0, line)
+        if len(entry_set) > self.config.assoc:
+            entry_set.pop()
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or counters."""
+        set_index, line = self._locate(address)
+        return line in self._sets[set_index]
+
+    @property
+    def miss_rate(self) -> float:
+        """Observed miss rate."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class MemoryAccessResult:
+    """Latency and hit/miss breakdown of one memory access."""
+
+    latency: int
+    l1_hit: bool
+    l2_hit: bool
+
+
+class MemoryHierarchy:
+    """L1 instruction, L1 data and unified L2 caches plus main memory."""
+
+    def __init__(self, config: ProcessorConfig):
+        self.config = config
+        self.l1i = SetAssociativeCache(config.l1i)
+        self.l1d = SetAssociativeCache(config.l1d)
+        self.l2 = SetAssociativeCache(config.l2)
+
+    def instruction_fetch(self, address: int) -> MemoryAccessResult:
+        """Fetch the line containing ``address``; return its latency."""
+        return self._access(self.l1i, address)
+
+    def data_access(self, address: int) -> MemoryAccessResult:
+        """Load/store access to ``address``; return its latency."""
+        return self._access(self.l1d, address)
+
+    def _access(self, l1: SetAssociativeCache, address: int) -> MemoryAccessResult:
+        if l1.access(address):
+            return MemoryAccessResult(latency=l1.config.hit_latency, l1_hit=True, l2_hit=True)
+        if self.l2.access(address):
+            latency = l1.config.hit_latency + self.l2.config.hit_latency
+            return MemoryAccessResult(latency=latency, l1_hit=False, l2_hit=True)
+        latency = (
+            l1.config.hit_latency
+            + self.l2.config.hit_latency
+            + self.config.l2_miss_latency
+        )
+        return MemoryAccessResult(latency=latency, l1_hit=False, l2_hit=False)

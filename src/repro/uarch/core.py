@@ -1,0 +1,446 @@
+"""The out-of-order pipeline driver.
+
+A trace-driven, cycle-level model of the processor in table 1: the
+functional emulator supplies the committed dynamic instruction stream and
+this core times it through fetch, decode, rename/dispatch, issue, execute,
+writeback and commit, modelling the issue queue, reorder buffer, physical
+register files, functional units, caches and branch prediction.
+
+Deviation from an execute-driven simulator (documented in DESIGN.md): the
+wrong path after a branch misprediction is not fetched; instead the front
+end stalls until the mispredicted branch resolves and then pays a redirect
+penalty.  All quantities the paper reports (IPC deltas, queue occupancy,
+wakeup activity, bank usage, register lifetime) are preserved by this
+simplification because wrong-path instructions never commit and the stall
+time equals the resolution delay either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.isa.opcodes import FuClass, Opcode
+from repro.uarch.branch import HybridBranchPredictor
+from repro.uarch.cache import MemoryHierarchy
+from repro.uarch.config import ProcessorConfig
+from repro.uarch.emulator import DynamicInstruction, FunctionalEmulator
+from repro.uarch.functional_units import FunctionalUnitPool
+from repro.uarch.issue_queue import BankedIssueQueue, IssueQueueEntry
+from repro.uarch.regfile import RenameUnit
+from repro.uarch.rob import ReorderBuffer, RobEntry
+from repro.uarch.stats import SimulationStats
+
+
+@dataclass
+class _FetchQueueEntry:
+    """An instruction sitting in the fetch/decode queue."""
+
+    dyn: DynamicInstruction
+    decode_ready_cycle: int
+
+
+class OutOfOrderCore:
+    """Cycle-level timing model driven by a dynamic instruction stream."""
+
+    def __init__(
+        self,
+        trace: Iterable[DynamicInstruction],
+        config: Optional[ProcessorConfig] = None,
+        policy=None,
+        warmup_instructions: int = 0,
+        max_cycles: Optional[int] = None,
+    ):
+        self.config = config or ProcessorConfig.hpca2005()
+        self.config.validate()
+        if policy is None:
+            from repro.techniques.fixed import BaselinePolicy
+
+            policy = BaselinePolicy()
+        self.policy = policy
+        self.warmup_instructions = warmup_instructions
+        self.max_cycles = max_cycles
+
+        self._trace: Iterator[DynamicInstruction] = iter(trace)
+        self._trace_exhausted = False
+
+        cfg = self.config
+        self.stats = SimulationStats(
+            iq_banks_total=cfg.iq_banks, rf_banks_total=cfg.int_regfile_banks
+        )
+        self.iq = BankedIssueQueue(cfg.iq_entries, cfg.iq_bank_size)
+        self.rob = ReorderBuffer(cfg.rob_entries)
+        self.rename = RenameUnit(cfg.int_phys_regs, cfg.fp_phys_regs, cfg.regfile_bank_size)
+        self.fus = FunctionalUnitPool(cfg.fu_counts)
+        self.memory = MemoryHierarchy(cfg)
+        self.predictor = HybridBranchPredictor(cfg.branch)
+
+        total_tags = cfg.int_phys_regs + cfg.fp_phys_regs
+        self._tag_ready = bytearray([1]) * 1  # replaced below
+        self._tag_ready = bytearray([1] * total_tags)
+
+        self.cycle = 0
+        self._fetch_queue: list[_FetchQueueEntry] = []
+        self._completion_events: dict[int, list[RobEntry]] = {}
+        self._iq_entry_by_rob: dict[int, IssueQueueEntry] = {}
+
+        # Front-end stall state.
+        self._fetch_blocked_on_seq: Optional[int] = None
+        self._fetch_resume_cycle = 0
+        self._last_fetch_line: Optional[int] = None
+
+        self._warmup_done = warmup_instructions == 0
+        self._committed_total = 0
+
+        self.policy.on_simulation_start(self)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Simulate until the trace drains (or ``max_cycles`` is hit)."""
+        safety_limit = self.max_cycles
+        while not self._finished():
+            self.step()
+            if safety_limit is not None and self.cycle >= safety_limit:
+                break
+        return self.stats
+
+    def step(self) -> None:
+        """Advance the machine by one cycle (back-to-front stage order)."""
+        self.fus.new_cycle()
+        self._commit()
+        self._writeback()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self._sample()
+        self.policy.on_cycle_end(self)
+        self.cycle += 1
+        self.stats.cycles = self.cycle if self._warmup_done else 0
+
+    # ------------------------------------------------------------------
+    def _finished(self) -> bool:
+        return (
+            self._trace_exhausted
+            and not self._fetch_queue
+            and self.rob.is_empty
+        )
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        committed = 0
+        while committed < self.config.commit_width:
+            entry = self.rob.commit_ready()
+            if entry is None:
+                break
+            self.rob.commit()
+            for tag in entry.freed_on_commit:
+                self.rename.release(tag)
+            committed += 1
+            self._committed_total += 1
+            if self._warmup_done:
+                self.stats.committed_instructions += 1
+                self.stats.committed_micro_ops += 1
+            elif self._committed_total >= self.warmup_instructions:
+                self._end_warmup()
+
+    def _end_warmup(self) -> None:
+        """Reset measurement counters at the end of the warm-up period."""
+        self._warmup_done = True
+        preserved = SimulationStats(
+            iq_banks_total=self.stats.iq_banks_total,
+            rf_banks_total=self.stats.rf_banks_total,
+        )
+        self.stats = preserved
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Writeback
+    # ------------------------------------------------------------------
+    def _writeback(self) -> None:
+        finishing = self._completion_events.pop(self.cycle, None)
+        if not finishing:
+            return
+        for entry in finishing:
+            self.rob.mark_completed(entry, self.cycle)
+            if entry.dest_tags:
+                self.rename.int_file.record_writes(
+                    sum(1 for tag in entry.dest_tags if tag < self.config.int_phys_regs)
+                )
+                if self._warmup_done:
+                    self.stats.rf_writes += len(entry.dest_tags)
+            for tag in entry.dest_tags:
+                self._tag_ready[tag] = 1
+                full, gated = self.iq.comparison_counts()
+                if self._warmup_done:
+                    self.stats.iq_broadcasts += 1
+                    self.stats.iq_cmp_full += full
+                    self.stats.iq_cmp_gated += gated
+                self.iq.broadcast(tag)
+            # Resolve a front-end block if this was the mispredicted branch.
+            if (
+                self._fetch_blocked_on_seq is not None
+                and entry.dyn is not None
+                and entry.dyn.seq == self._fetch_blocked_on_seq
+            ):
+                self._fetch_blocked_on_seq = None
+                self._fetch_resume_cycle = self.cycle + self.config.branch_mispredict_penalty
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        issued = 0
+        for entry in self.iq.ready_entries_in_age_order():
+            if issued >= self.config.issue_width:
+                break
+            if entry.ready_cycle > self.cycle:
+                continue
+            if not self.fus.try_acquire(entry.fu_class):
+                continue
+            rob_entry = self.rob.entries[entry.rob_index]
+            self.iq.remove(entry)
+            del self._iq_entry_by_rob[entry.rob_index]
+            self.rob.mark_issued(rob_entry)
+            issued += 1
+            if self._warmup_done:
+                self.stats.issued_instructions += 1
+                self.stats.iq_issue_reads += 1
+                self.stats.rf_reads += len(rob_entry.source_tags)
+            self.rename.int_file.record_reads(
+                sum(1 for tag in rob_entry.source_tags if tag < self.config.int_phys_regs)
+            )
+            latency = self._execution_latency(rob_entry.dyn)
+            finish = self.cycle + max(1, latency)
+            self._completion_events.setdefault(finish, []).append(rob_entry)
+
+    def _execution_latency(self, dyn: DynamicInstruction) -> int:
+        instr = dyn.static
+        if instr.is_load:
+            result = self.memory.data_access(dyn.mem_address or 0)
+            if self._warmup_done:
+                self.stats.l1d_accesses += 1
+                if not result.l1_hit:
+                    self.stats.l1d_misses += 1
+                self.stats.l2_accesses += 0 if result.l1_hit else 1
+                if not result.l2_hit:
+                    self.stats.l2_misses += 1
+            return instr.latency + result.latency
+        if instr.is_store:
+            self.memory.data_access(dyn.mem_address or 0)
+            if self._warmup_done:
+                self.stats.l1d_accesses += 1
+            return instr.latency
+        return instr.latency
+
+    # ------------------------------------------------------------------
+    # Dispatch (rename + issue-queue/ROB allocation)
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        dispatched = 0
+        stalled_on_region = False
+        stalled_on_physical = False
+        while dispatched < self.config.dispatch_width and self._fetch_queue:
+            head = self._fetch_queue[0]
+            if head.decode_ready_cycle > self.cycle:
+                break
+            instr = head.dyn.static
+
+            # The paper's special NOOP: stripped in the last decode stage.
+            # It consumes a dispatch slot (the source of the NOOP scheme's
+            # small IPC cost) but never reaches the issue queue.
+            if instr.is_hint:
+                if self.policy.uses_hints:
+                    self.policy.on_hint(self, instr.hint_value)
+                self._fetch_queue.pop(0)
+                dispatched += 1
+                if self._warmup_done:
+                    self.stats.hint_noops_stripped += 1
+                continue
+            if instr.opcode is Opcode.NOP:
+                self._fetch_queue.pop(0)
+                dispatched += 1
+                continue
+
+            # Tag-carried hints (Extension/Improved) cost no dispatch slot.
+            if instr.iq_tag is not None and self.policy.uses_hints:
+                self.policy.on_hint(self, instr.iq_tag)
+                if self._warmup_done:
+                    self.stats.tagged_instructions_seen += 1
+
+            if not self.rob.can_allocate():
+                break
+            if not self.rename.can_rename(instr):
+                break
+            ok, reason = self.iq.can_dispatch()
+            if not ok:
+                if reason in ("region_limit", "global_limit"):
+                    stalled_on_region = True
+                else:
+                    stalled_on_physical = True
+                break
+
+            self._fetch_queue.pop(0)
+            renamed = self.rename.rename(instr)
+            for tag in renamed.dest_tags:
+                self._tag_ready[tag] = 0
+
+            rob_entry = self.rob.allocate(head.dyn)
+            rob_entry.dest_tags = renamed.dest_tags
+            rob_entry.freed_on_commit = renamed.freed_on_commit
+            rob_entry.source_tags = renamed.source_tags
+
+            waiting = {tag for tag in renamed.source_tags if not self._tag_ready[tag]}
+            iq_entry = self.iq.allocate(
+                rob_index=rob_entry.index,
+                waiting_tags=waiting,
+                num_source_operands=len(renamed.source_tags),
+                fu_class=instr.fu_class,
+                ready_cycle=self.cycle + 1,
+            )
+            self._iq_entry_by_rob[rob_entry.index] = iq_entry
+            dispatched += 1
+            if self._warmup_done:
+                self.stats.dispatched_instructions += 1
+                self.stats.iq_dispatch_writes += 1
+
+        if self._warmup_done:
+            if stalled_on_region:
+                self.stats.iq_dispatch_stall_cycles += 1
+            if stalled_on_physical:
+                self.stats.iq_full_stall_cycles += 1
+
+    # ------------------------------------------------------------------
+    # Fetch
+    # ------------------------------------------------------------------
+    def _fetch(self) -> None:
+        if self._trace_exhausted:
+            return
+        if self._fetch_blocked_on_seq is not None:
+            return
+        if self.cycle < self._fetch_resume_cycle:
+            return
+
+        fetched = 0
+        line_bytes = self.config.l1i.line_bytes
+        while (
+            fetched < self.config.fetch_width
+            and len(self._fetch_queue) < self.config.fetch_queue_entries
+        ):
+            dyn = self._next_trace_entry()
+            if dyn is None:
+                break
+            if self._warmup_done:
+                self.stats.fetched_instructions += 1
+                if dyn.is_hint:
+                    self.stats.hint_noops_fetched += 1
+
+            # Instruction-cache access per new line.
+            line = dyn.pc // line_bytes
+            if line != self._last_fetch_line:
+                self._last_fetch_line = line
+                result = self.memory.instruction_fetch(dyn.pc)
+                if self._warmup_done:
+                    self.stats.l1i_accesses += 1
+                    if not result.l1_hit:
+                        self.stats.l1i_misses += 1
+                if not result.l1_hit:
+                    self._fetch_resume_cycle = self.cycle + result.latency
+                    self._fetch_queue.append(
+                        _FetchQueueEntry(dyn, self.cycle + self.config.decode_latency)
+                    )
+                    fetched += 1
+                    break
+
+            self._fetch_queue.append(
+                _FetchQueueEntry(dyn, self.cycle + self.config.decode_latency)
+            )
+            fetched += 1
+
+            if self._handle_control_flow(dyn):
+                break  # mispredicted: stop fetching this cycle
+
+    def _next_trace_entry(self) -> Optional[DynamicInstruction]:
+        try:
+            return next(self._trace)
+        except StopIteration:
+            self._trace_exhausted = True
+            return None
+
+    def _handle_control_flow(self, dyn: DynamicInstruction) -> bool:
+        """Run branch prediction for ``dyn``; return True if fetch must stop."""
+        instr = dyn.static
+        mispredicted = False
+        if instr.is_branch:
+            if self._warmup_done:
+                self.stats.branches += 1
+            outcome = self.predictor.predict_and_update(dyn.pc, dyn.taken, dyn.next_pc)
+            mispredicted = not outcome.correct
+            if mispredicted and self._warmup_done:
+                self.stats.branch_mispredicts += 1
+        elif instr.is_call:
+            self.predictor.push_return_address(dyn.pc + 4)
+        elif instr.is_return:
+            correct = self.predictor.predict_return(dyn.next_pc)
+            mispredicted = not correct
+            if mispredicted and self._warmup_done:
+                self.stats.ras_mispredicts += 1
+
+        if mispredicted:
+            self._fetch_blocked_on_seq = dyn.seq
+        return mispredicted
+
+    # ------------------------------------------------------------------
+    # Per-cycle sampling
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        if not self._warmup_done:
+            return
+        stats = self.stats
+        stats.sampled_cycles += 1
+        stats.iq_occupancy_sum += self.iq.occupancy
+        stats.iq_waiting_operand_sum += self.iq.waiting_operand_count
+        stats.iq_banks_on_sum += self.iq.enabled_banks(self.policy.iq_bank_gating)
+        stats.rf_banks_on_sum += self.rename.int_file.enabled_banks(
+            self.policy.rf_bank_gating
+        )
+        stats.rf_live_regs_sum += self.rename.int_file.allocated
+        stats.rf_inflight_sum += self.rob.occupancy
+
+
+def simulate(
+    program,
+    policy=None,
+    config: Optional[ProcessorConfig] = None,
+    max_instructions: int = 20_000,
+    warmup_instructions: int = 0,
+    max_cycles: Optional[int] = None,
+) -> SimulationStats:
+    """Convenience wrapper: emulate ``program`` and time it under ``policy``.
+
+    Args:
+        program: an IR :class:`~repro.isa.program.Program`.
+        policy: a resizing policy from :mod:`repro.techniques`
+            (baseline full-size queue when omitted).
+        config: processor configuration (table 1 when omitted).
+        max_instructions: dynamic instruction budget for the emulator.
+        warmup_instructions: committed instructions to run before statistics
+            start accumulating (cache/predictor warm-up).
+        max_cycles: optional safety cap on simulated cycles.
+
+    Returns:
+        The populated :class:`~repro.uarch.stats.SimulationStats`.
+    """
+    emulator = FunctionalEmulator(program)
+    trace = emulator.run(max_instructions=max_instructions)
+    core = OutOfOrderCore(
+        trace,
+        config=config,
+        policy=policy,
+        warmup_instructions=warmup_instructions,
+        max_cycles=max_cycles,
+    )
+    return core.run()

@@ -1,0 +1,317 @@
+"""Functional (architectural) emulation of IR programs.
+
+The timing simulator is trace-driven: this emulator executes a program's
+semantics -- register values, memory contents, branch outcomes, call/return
+nesting -- and yields the committed dynamic instruction stream, annotated
+with everything the timing model needs (program counter, branch outcome and
+target, effective memory address).  This mirrors how SimpleScalar's
+functional core feeds its timing core.
+
+Determinism matters for reproducibility: uninitialised memory reads return a
+value derived from the address by a fixed hash, so every run of a given
+program produces exactly the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARCH_REGS, NUM_FP_ARCH_REGS, ZERO_REG
+
+
+_VALUE_MASK = (1 << 63) - 1
+_UNINIT_HASH_MULTIPLIER = 2654435761
+
+
+class EmulationError(Exception):
+    """Raised when a program cannot be executed (bad targets, empty blocks...)."""
+
+
+class EmulationLimitExceeded(Exception):
+    """Raised when the call-depth safety limit is exceeded."""
+
+
+@dataclass
+class ProgramLayout:
+    """Static address assignment for every instruction of a program.
+
+    Instructions get consecutive 4-byte addresses, procedure by procedure
+    and block by block, so the instruction cache sees realistic spatial
+    locality and every static instruction has a unique PC for the branch
+    predictor and BTB.
+    """
+
+    instruction_pc: dict[int, int] = field(default_factory=dict)  # uid -> pc
+    block_pc: dict[tuple[str, str], int] = field(default_factory=dict)
+    procedure_pc: dict[str, int] = field(default_factory=dict)
+    code_size: int = 0
+
+    @classmethod
+    def for_program(cls, program: Program, base_address: int = 0x1000) -> "ProgramLayout":
+        """Lay out ``program`` starting at ``base_address``."""
+        layout = cls()
+        pc = base_address
+        for procedure in program.procedures.values():
+            layout.procedure_pc[procedure.name] = pc
+            for block in procedure.blocks:
+                layout.block_pc[(procedure.name, block.label)] = pc
+                for instruction in block.instructions:
+                    layout.instruction_pc[instruction.uid] = pc
+                    pc += 4
+        layout.code_size = pc - base_address
+        return layout
+
+
+@dataclass
+class DynamicInstruction:
+    """One element of the committed dynamic instruction stream.
+
+    Attributes:
+        static: the static instruction executed.
+        seq: sequence number in commit order (0-based).
+        pc: the instruction's address.
+        next_pc: address of the next dynamic instruction.
+        taken: for control transfers, whether the transfer was taken.
+        mem_address: effective address for loads and stores.
+    """
+
+    static: Instruction
+    seq: int
+    pc: int
+    next_pc: int
+    taken: bool = False
+    mem_address: Optional[int] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.static.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.static.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.static.is_store
+
+    @property
+    def is_hint(self) -> bool:
+        return self.static.is_hint
+
+
+@dataclass
+class _Position:
+    """A point in the static program: procedure, block index, instruction index."""
+
+    procedure: str
+    block_index: int
+    instr_index: int
+
+
+class FunctionalEmulator:
+    """Architectural interpreter for IR programs."""
+
+    #: Base address of the data segment (separated from code addresses).
+    DATA_BASE = 0x100000
+
+    #: Default stack pointer value.
+    STACK_BASE = 0x7F0000
+
+    def __init__(self, program: Program, max_call_depth: int = 256):
+        program.validate()
+        self.program = program
+        self.layout = ProgramLayout.for_program(program)
+        self.max_call_depth = max_call_depth
+
+        self.registers = [0] * NUM_ARCH_REGS
+        self.fp_registers = [0.0] * NUM_FP_ARCH_REGS
+        self.registers[29] = self.STACK_BASE  # conventional stack pointer
+        self.memory: dict[int, int] = {}
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    # Memory helpers
+    # ------------------------------------------------------------------
+    def read_memory(self, address: int) -> int:
+        """Read ``address``; uninitialised locations return a deterministic value."""
+        address &= _VALUE_MASK
+        if address in self.memory:
+            return self.memory[address]
+        return (address * _UNINIT_HASH_MULTIPLIER) & 0xFFFF
+
+    def write_memory(self, address: int, value: int) -> None:
+        """Write ``value`` to ``address``."""
+        self.memory[address & _VALUE_MASK] = value & _VALUE_MASK
+
+    # ------------------------------------------------------------------
+    # Register helpers
+    # ------------------------------------------------------------------
+    def _read_reg(self, reg) -> int | float:
+        if reg.is_fp:
+            return self.fp_registers[reg.index]
+        if reg.index == ZERO_REG:
+            return 0
+        return self.registers[reg.index]
+
+    def _write_reg(self, reg, value) -> None:
+        if reg.is_fp:
+            self.fp_registers[reg.index] = float(value)
+            return
+        if reg.index == ZERO_REG:
+            return
+        self.registers[reg.index] = int(value) & _VALUE_MASK
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 1_000_000) -> Iterator[DynamicInstruction]:
+        """Execute from the program entry; yield committed dynamic instructions.
+
+        Execution stops at ``HALT``, when the entry procedure returns, or
+        after ``max_instructions`` dynamic instructions.
+        """
+        program = self.program
+        position = _Position(program.entry, 0, 0)
+        call_stack: list[_Position] = []
+        seq = 0
+
+        while seq < max_instructions:
+            procedure = program.procedures[position.procedure]
+            if position.block_index >= len(procedure.blocks):
+                break
+            block = procedure.blocks[position.block_index]
+            if position.instr_index >= len(block.instructions):
+                # Fall off the end of a block: continue with the next block.
+                position = _Position(position.procedure, position.block_index + 1, 0)
+                continue
+
+            instr = block.instructions[position.instr_index]
+            pc = self.layout.instruction_pc[instr.uid]
+            taken = False
+            mem_address: Optional[int] = None
+            next_position = _Position(
+                position.procedure, position.block_index, position.instr_index + 1
+            )
+            halt = False
+
+            opcode = instr.opcode
+            if opcode is Opcode.HALT:
+                halt = True
+            elif opcode is Opcode.CALL:
+                if len(call_stack) >= self.max_call_depth:
+                    raise EmulationLimitExceeded(
+                        f"call depth exceeded {self.max_call_depth} in {position.procedure}"
+                    )
+                call_stack.append(next_position)
+                next_position = _Position(instr.call_target, 0, 0)
+                taken = True
+            elif opcode is Opcode.RET:
+                taken = True
+                if call_stack:
+                    next_position = call_stack.pop()
+                else:
+                    halt = True
+            elif opcode is Opcode.JUMP:
+                taken = True
+                next_position = _Position(
+                    position.procedure, procedure.block_index(instr.target), 0
+                )
+            elif opcode in (Opcode.BEQZ, Opcode.BNEZ):
+                value = self._read_reg(instr.srcs[0])
+                taken = (value == 0) if opcode is Opcode.BEQZ else (value != 0)
+                if taken:
+                    next_position = _Position(
+                        position.procedure, procedure.block_index(instr.target), 0
+                    )
+            elif opcode is Opcode.LOAD:
+                base = self._read_reg(instr.srcs[0])
+                mem_address = (int(base) + instr.imm) & _VALUE_MASK
+                self._write_reg(instr.dests[0], self.read_memory(mem_address))
+            elif opcode is Opcode.STORE:
+                base = self._read_reg(instr.srcs[0])
+                mem_address = (int(base) + instr.imm) & _VALUE_MASK
+                self.write_memory(mem_address, int(self._read_reg(instr.srcs[1])))
+            elif opcode not in (Opcode.NOP, Opcode.HINT):
+                self._execute_alu(instr)
+
+            next_pc = self._position_pc(next_position, call_stack) if not halt else pc + 4
+            yield DynamicInstruction(
+                static=instr,
+                seq=seq,
+                pc=pc,
+                next_pc=next_pc,
+                taken=taken,
+                mem_address=mem_address,
+            )
+            seq += 1
+            self.instructions_executed = seq
+            if halt:
+                break
+            position = next_position
+
+    # ------------------------------------------------------------------
+    def _position_pc(self, position: _Position, call_stack: list[_Position]) -> int:
+        """PC of the instruction at ``position`` (best effort at block ends)."""
+        procedure = self.program.procedures.get(position.procedure)
+        if procedure is None or position.block_index >= len(procedure.blocks):
+            return 0
+        block = procedure.blocks[position.block_index]
+        if position.instr_index < len(block.instructions):
+            return self.layout.instruction_pc[block.instructions[position.instr_index].uid]
+        # Falling off the block: the next block's first instruction.
+        if position.block_index + 1 < len(procedure.blocks):
+            nxt = procedure.blocks[position.block_index + 1]
+            if nxt.instructions:
+                return self.layout.instruction_pc[nxt.instructions[0].uid]
+        return 0
+
+    def _execute_alu(self, instr: Instruction) -> None:
+        """Execute an arithmetic/logical/FP instruction."""
+        opcode = instr.opcode
+        srcs = [self._read_reg(reg) for reg in instr.srcs]
+        a = srcs[0] if srcs else 0
+        b = srcs[1] if len(srcs) > 1 else instr.imm
+
+        if opcode is Opcode.LI:
+            result = instr.imm
+        elif opcode is Opcode.MOV:
+            result = a
+        elif opcode is Opcode.ADD:
+            result = a + b
+        elif opcode is Opcode.SUB:
+            result = a - b
+        elif opcode is Opcode.AND:
+            result = int(a) & int(b)
+        elif opcode is Opcode.OR:
+            result = int(a) | int(b)
+        elif opcode is Opcode.XOR:
+            result = int(a) ^ int(b)
+        elif opcode is Opcode.SHL:
+            result = int(a) << (int(b) & 31)
+        elif opcode is Opcode.SHR:
+            result = int(a) >> (int(b) & 31)
+        elif opcode is Opcode.CMP_LT:
+            result = 1 if a < b else 0
+        elif opcode is Opcode.CMP_EQ:
+            result = 1 if a == b else 0
+        elif opcode is Opcode.MUL:
+            result = int(a) * int(b)
+        elif opcode is Opcode.DIV:
+            result = int(a) // int(b) if int(b) != 0 else 0
+        elif opcode is Opcode.FADD:
+            result = float(a) + float(b)
+        elif opcode is Opcode.FSUB:
+            result = float(a) - float(b)
+        elif opcode is Opcode.FMUL:
+            result = float(a) * float(b)
+        elif opcode is Opcode.FDIV:
+            result = float(a) / float(b) if float(b) != 0.0 else 0.0
+        else:  # pragma: no cover - defensive
+            result = 0
+
+        if instr.dests:
+            self._write_reg(instr.dests[0], result)

@@ -1,0 +1,42 @@
+"""Functional-unit pool.
+
+Table 1: 6 integer ALUs (1 cycle), 3 integer multipliers (3 cycles), 4 FP
+ALUs (2 cycles) and 2 FP multiply/divide units, plus 2 memory ports.  Units
+are modelled as fully pipelined: the constraint enforced each cycle is how
+many instructions of each class may *begin* execution, which is what limits
+issue; occupancy of long-latency operations is captured by their latency.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import FuClass
+
+
+class FunctionalUnitPool:
+    """Per-cycle issue bandwidth per functional-unit class."""
+
+    def __init__(self, fu_counts: dict[FuClass, int]):
+        self.fu_counts = dict(fu_counts)
+        self._used_this_cycle: dict[FuClass, int] = {}
+        self.issues_by_class: dict[FuClass, int] = {fu: 0 for fu in self.fu_counts}
+        self.structural_stalls: int = 0
+
+    def new_cycle(self) -> None:
+        """Reset the per-cycle usage counters."""
+        self._used_this_cycle = {}
+
+    def try_acquire(self, fu_class: FuClass) -> bool:
+        """Reserve a unit of ``fu_class`` for this cycle if one is available."""
+        limit = self.fu_counts.get(fu_class, 0)
+        used = self._used_this_cycle.get(fu_class, 0)
+        if used >= limit:
+            self.structural_stalls += 1
+            return False
+        self._used_this_cycle[fu_class] = used + 1
+        self.issues_by_class[fu_class] = self.issues_by_class.get(fu_class, 0) + 1
+        return True
+
+    def available(self, fu_class: FuClass) -> int:
+        """Units of ``fu_class`` still free this cycle."""
+        limit = self.fu_counts.get(fu_class, 0)
+        return max(0, limit - self._used_this_cycle.get(fu_class, 0))

@@ -1,0 +1,238 @@
+"""The banked, non-collapsing issue queue with compiler control hooks.
+
+This models the paper's issue queue (section 3.1):
+
+* a circular, **non-collapsing** buffer (issued entries leave holes; the
+  head simply advances past them), as in Folegnani & González, Buyuktosunoglu
+  et al. and Abella & González;
+* organised in banks whose CAM and RAM arrays can be turned off together
+  when the bank holds no valid entry;
+* a conventional ``head``/``tail`` pair plus the paper's ``new_head``
+  pointer and ``max_new_range`` register.  ``new_head`` marks the oldest
+  entry of the *current program region*; dispatch stops whenever the
+  distance from ``new_head`` to ``tail`` would exceed ``max_new_range``.
+  When the entry ``new_head`` points at issues, the pointer slides towards
+  the tail (figure 2), freeing dispatch slots for the region.
+
+The queue also keeps the power-relevant event counts: waiting (non-ready,
+non-empty) operands for gated wakeup energy, total slots for ungated wakeup
+energy, and per-bank occupancy for static gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class IssueQueueEntry:
+    """One valid issue-queue slot.
+
+    Attributes:
+        rob_index: the owning reorder-buffer entry.
+        slot: slot index inside the queue.
+        waiting_tags: physical-register tags still outstanding.
+        num_source_operands: total source operands the entry arrived with.
+        fu_class: functional-unit class needed to issue.
+        ready_cycle: earliest cycle the entry may issue (used to enforce the
+            one-cycle wakeup-to-issue ordering for operands that were ready
+            at dispatch time).
+    """
+
+    rob_index: int
+    slot: int
+    waiting_tags: set[int] = field(default_factory=set)
+    num_source_operands: int = 0
+    fu_class: object = None
+    ready_cycle: int = 0
+
+    @property
+    def is_ready(self) -> bool:
+        """True when all source operands have been produced."""
+        return not self.waiting_tags
+
+
+class BankedIssueQueue:
+    """Circular non-collapsing issue queue with bank gating and ``new_head``."""
+
+    def __init__(self, capacity: int, bank_size: int):
+        if capacity <= 0 or bank_size <= 0:
+            raise ValueError("issue queue capacity and bank size must be positive")
+        self.capacity = capacity
+        self.bank_size = bank_size
+        self.num_banks = (capacity + bank_size - 1) // bank_size
+
+        self.slots: list[Optional[IssueQueueEntry]] = [None] * capacity
+        self.head = 0
+        self.tail = 0
+        self.new_head = 0
+        self.count = 0
+        self.span = 0  # slots between head and tail, holes included
+        self.max_new_range: Optional[int] = None
+        self.global_limit: Optional[int] = None
+
+        self.bank_counts = [0] * self.num_banks
+        self.waiting_operand_count = 0
+        # consumers maps a physical-register tag to the entries waiting on it.
+        self._consumers: dict[int, list[IssueQueueEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _distance(self, start: int, end: int) -> int:
+        """Number of slots from ``start`` up to (not including) ``end``."""
+        return (end - start) % self.capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries."""
+        return self.count
+
+    @property
+    def free_physical_slots(self) -> int:
+        """Slots the tail can still advance into before reaching the head."""
+        return self.capacity - self.span
+
+    @property
+    def region_occupancy(self) -> int:
+        """Slots between ``new_head`` and ``tail`` (the current region's extent)."""
+        if self.span == 0:
+            return 0
+        return self._distance(self.new_head, self.tail)
+
+    def enabled_banks(self, bank_gating: bool) -> int:
+        """Number of banks that must be powered this cycle."""
+        if not bank_gating:
+            return self.num_banks
+        return sum(1 for count in self.bank_counts if count > 0)
+
+    # ------------------------------------------------------------------
+    # Compiler / policy control
+    # ------------------------------------------------------------------
+    def start_new_region(self, max_new_range: int) -> None:
+        """Begin a new program region: ``new_head`` <- ``tail`` (section 3.2)."""
+        self.new_head = self.tail
+        self.max_new_range = max(1, max_new_range)
+
+    def clear_region_limit(self) -> None:
+        """Remove any software-imposed region limit."""
+        self.max_new_range = None
+
+    def set_global_limit(self, limit: Optional[int]) -> None:
+        """Set a hardware-imposed cap on total queue extent (abella-style)."""
+        if limit is not None:
+            limit = max(self.bank_size, min(limit, self.capacity))
+        self.global_limit = limit
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def can_dispatch(self) -> tuple[bool, str]:
+        """Whether one more instruction may be dispatched, and why not if not."""
+        if self.span >= self.capacity:
+            return False, "physical"
+        if self.global_limit is not None and self.span >= self.global_limit:
+            return False, "global_limit"
+        if self.max_new_range is not None and self.region_occupancy >= self.max_new_range:
+            return False, "region_limit"
+        return True, ""
+
+    def allocate(
+        self,
+        rob_index: int,
+        waiting_tags: set[int],
+        num_source_operands: int,
+        fu_class,
+        ready_cycle: int,
+    ) -> IssueQueueEntry:
+        """Insert a new entry at the tail and return it."""
+        ok, reason = self.can_dispatch()
+        if not ok:
+            raise RuntimeError(f"allocate called while dispatch blocked ({reason})")
+        slot = self.tail
+        entry = IssueQueueEntry(
+            rob_index=rob_index,
+            slot=slot,
+            waiting_tags=set(waiting_tags),
+            num_source_operands=num_source_operands,
+            fu_class=fu_class,
+            ready_cycle=ready_cycle,
+        )
+        self.slots[slot] = entry
+        self.tail = (self.tail + 1) % self.capacity
+        self.count += 1
+        self.span += 1
+        self.bank_counts[slot // self.bank_size] += 1
+        self.waiting_operand_count += len(entry.waiting_tags)
+        for tag in entry.waiting_tags:
+            self._consumers.setdefault(tag, []).append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Wakeup / select / remove
+    # ------------------------------------------------------------------
+    def broadcast(self, tag: int) -> int:
+        """Wake every operand waiting on ``tag``; return how many woke up."""
+        woken = 0
+        consumers = self._consumers.pop(tag, None)
+        if not consumers:
+            return 0
+        for entry in consumers:
+            if self.slots[entry.slot] is entry and tag in entry.waiting_tags:
+                entry.waiting_tags.discard(tag)
+                self.waiting_operand_count -= 1
+                woken += 1
+        return woken
+
+    def ready_entries_in_age_order(self) -> list[IssueQueueEntry]:
+        """Valid, ready entries from oldest (head) to youngest (tail)."""
+        result: list[IssueQueueEntry] = []
+        slot = self.head
+        remaining = self.span
+        while remaining > 0:
+            entry = self.slots[slot]
+            if entry is not None and entry.is_ready:
+                result.append(entry)
+            slot = (slot + 1) % self.capacity
+            remaining -= 1
+        return result
+
+    def remove(self, entry: IssueQueueEntry) -> None:
+        """Remove an issued entry, leaving a hole, and advance the pointers."""
+        slot = entry.slot
+        if self.slots[slot] is not entry:
+            raise RuntimeError("attempt to remove an entry that is not resident")
+        self.slots[slot] = None
+        self.count -= 1
+        self.bank_counts[slot // self.bank_size] -= 1
+        self.waiting_operand_count -= len(entry.waiting_tags)
+        self._advance_pointers()
+
+    def _advance_pointers(self) -> None:
+        """Slide ``head`` and ``new_head`` past holes towards the tail."""
+        while self.span > 0 and self.slots[self.head] is None:
+            self.head = (self.head + 1) % self.capacity
+            self.span -= 1
+        if self.span == 0:
+            self.head = self.tail
+            self.new_head = self.tail
+            return
+        # new_head behaves like head but never falls behind it.
+        if self._distance(self.head, self.new_head) > self.span:
+            self.new_head = self.head
+        while self.new_head != self.tail and self.slots[self.new_head] is None:
+            self.new_head = (self.new_head + 1) % self.capacity
+
+    # ------------------------------------------------------------------
+    # Power-event sampling
+    # ------------------------------------------------------------------
+    def comparison_counts(self) -> tuple[int, int]:
+        """(ungated, gated) comparator operations for one result broadcast.
+
+        Ungated: every operand slot of the whole queue precharges and
+        compares.  Gated: only non-empty, non-ready operands are compared
+        (Folegnani & González's precharge gating, which the resizing
+        techniques inherit).
+        """
+        return 2 * self.capacity, self.waiting_operand_count

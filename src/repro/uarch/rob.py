@@ -1,0 +1,115 @@
+"""Reorder buffer.
+
+A 128-entry circular buffer (table 1).  Entries progress through the states
+*dispatched* -> *issued* -> *completed* and commit in order from the head.
+The abella (IqRob64) baseline additionally limits how many ROB entries may
+be occupied, which is supported through :meth:`ReorderBuffer.set_limit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+DISPATCHED = 0
+ISSUED = 1
+COMPLETED = 2
+
+
+@dataclass
+class RobEntry:
+    """One reorder-buffer entry.
+
+    Attributes:
+        index: position in the circular buffer.
+        dyn: the dynamic instruction (or None for a reclaimed slot).
+        state: DISPATCHED, ISSUED or COMPLETED.
+        dest_tags: physical registers written by the instruction.
+        freed_on_commit: physical registers released when it commits.
+        source_tags: physical registers read (for register-file accounting).
+        completion_cycle: cycle at which execution finished.
+    """
+
+    index: int
+    dyn: object = None
+    state: int = DISPATCHED
+    dest_tags: list[int] = field(default_factory=list)
+    freed_on_commit: list[int] = field(default_factory=list)
+    source_tags: list[int] = field(default_factory=list)
+    completion_cycle: int = 0
+
+
+class ReorderBuffer:
+    """In-order allocate / out-of-order complete / in-order commit buffer."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("ROB capacity must be positive")
+        self.capacity = capacity
+        self.entries: list[Optional[RobEntry]] = [None] * capacity
+        self.head = 0
+        self.tail = 0
+        self.count = 0
+        self.limit: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of in-flight instructions."""
+        return self.count
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def set_limit(self, limit: Optional[int]) -> None:
+        """Cap occupancy below the physical capacity (abella's ROB limiting)."""
+        if limit is not None:
+            limit = max(1, min(limit, self.capacity))
+        self.limit = limit
+
+    def can_allocate(self) -> bool:
+        """Whether one more instruction may be dispatched into the ROB."""
+        effective = self.capacity if self.limit is None else self.limit
+        return self.count < effective
+
+    # ------------------------------------------------------------------
+    def allocate(self, dyn) -> RobEntry:
+        """Allocate the tail entry for ``dyn`` and return it."""
+        if not self.can_allocate():
+            raise RuntimeError("ROB allocate called while full")
+        index = self.tail
+        entry = RobEntry(index=index, dyn=dyn, state=DISPATCHED)
+        self.entries[index] = entry
+        self.tail = (self.tail + 1) % self.capacity
+        self.count += 1
+        return entry
+
+    def mark_issued(self, entry: RobEntry) -> None:
+        """Record that the entry has left the issue queue."""
+        entry.state = ISSUED
+
+    def mark_completed(self, entry: RobEntry, cycle: int) -> None:
+        """Record execution completion."""
+        entry.state = COMPLETED
+        entry.completion_cycle = cycle
+
+    def commit_ready(self) -> Optional[RobEntry]:
+        """The head entry if it has completed, else None."""
+        if self.count == 0:
+            return None
+        entry = self.entries[self.head]
+        if entry is not None and entry.state == COMPLETED:
+            return entry
+        return None
+
+    def commit(self) -> RobEntry:
+        """Retire the head entry and return it."""
+        entry = self.commit_ready()
+        if entry is None:
+            raise RuntimeError("commit called with no completed head entry")
+        self.entries[self.head] = None
+        self.head = (self.head + 1) % self.capacity
+        self.count -= 1
+        return entry

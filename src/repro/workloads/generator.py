@@ -1,0 +1,470 @@
+"""Synthetic program generator.
+
+Builds runnable IR programs from :class:`~repro.workloads.traits.BenchmarkTraits`.
+Generated programs follow a fixed register convention so that procedures can
+be composed freely without breaking loop counters or pointers:
+
+====================  =====================================================
+registers             role
+====================  =====================================================
+``r0``                always zero
+``r1``  .. ``r12``    leaf-procedure and body scratch / dependence chains
+``r13`` .. ``r15``    library-procedure scratch
+``r16`` .. ``r21``    phase-procedure dependence-chain accumulators
+``r22``, ``r23``      phase-local data pointers
+``r24``, ``r25``      global data-region base registers (set up in main)
+``r26``, ``r27``      inner/outer loop counters inside phase procedures
+``r28``               top-level driver loop counter (main only)
+``r29``               stack pointer (reserved, unused)
+``r30``, ``r31``      spare globals
+====================  =====================================================
+
+The structure of every generated program is::
+
+    main:        set up base registers, then a driver loop that calls each
+                 phase procedure in turn (and occasionally a library stub)
+    phase_*:     loop kernels, DAG kernels, switch kernels or call kernels
+    leaf_*:      small straight-line procedures called from kernels
+    lib_*:       library procedures (excluded from compiler analysis)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BasicBlock, Procedure, Program
+from repro.isa.registers import Reg
+from repro.workloads.traits import BenchmarkTraits
+
+
+# Register convention (see module docstring).
+SCRATCH_REGS = [Reg(i) for i in range(1, 13)]
+LIBRARY_REGS = [Reg(i) for i in range(13, 16)]
+CHAIN_REGS = [Reg(i) for i in range(16, 22)]
+POINTER_A = Reg(22)
+POINTER_B = Reg(23)
+GLOBAL_BASE_A = Reg(24)
+GLOBAL_BASE_B = Reg(25)
+INNER_COUNTER = Reg(26)
+LOOP_COUNTER = Reg(27)
+DRIVER_COUNTER = Reg(28)
+
+#: Start of the synthetic data region (separate from code addresses).
+DATA_REGION_A = 0x200000
+DATA_REGION_B = 0x600000
+
+_ALU_OPCODES = (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.AND, Opcode.OR)
+
+
+@dataclass
+class _BodyContext:
+    """Mutable state threaded through body generation for one kernel."""
+
+    chains: list[Reg]
+    pointer: Reg
+    store_pointer: Reg
+    stride: int
+    predictable_branches: bool = True
+
+
+class SyntheticProgramGenerator:
+    """Builds one synthetic benchmark program from its traits."""
+
+    def __init__(self, traits: BenchmarkTraits):
+        self.traits = traits
+        self.rng = random.Random(traits.seed)
+        self.program = Program(name=traits.name)
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Generate and validate the program."""
+        traits = self.traits
+        leaf_names = [self._build_leaf(i) for i in range(traits.num_leaf_procs)]
+        library_names = [self._build_library(i) for i in range(traits.num_library_procs)]
+
+        phase_names: list[str] = []
+        for index in range(traits.num_loop_kernels):
+            phase_names.append(self._build_loop_kernel(f"loop_kernel_{index}", leaf_names))
+        for index in range(traits.num_dag_kernels):
+            phase_names.append(self._build_dag_kernel(f"dag_kernel_{index}"))
+        for index in range(traits.num_switch_kernels):
+            phase_names.append(self._build_switch_kernel(f"switch_kernel_{index}"))
+        for index in range(traits.num_call_kernels):
+            phase_names.append(self._build_call_kernel(f"call_kernel_{index}", leaf_names))
+
+        self.rng.shuffle(phase_names)
+        self._build_main(phase_names, library_names)
+        self.program.validate()
+        return self.program
+
+    # ------------------------------------------------------------------
+    # Naming helpers
+    # ------------------------------------------------------------------
+    def _label(self, prefix: str) -> str:
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def _randint(self, bounds: tuple[int, int]) -> int:
+        low, high = bounds
+        return self.rng.randint(low, high)
+
+    # ------------------------------------------------------------------
+    # Body generation
+    # ------------------------------------------------------------------
+    def _stride_for_working_set(self) -> int:
+        """Pick a pointer stride so the touched range matches the working set."""
+        traits = self.traits
+        kernels = max(
+            1,
+            traits.num_loop_kernels + traits.num_call_kernels,
+        )
+        per_kernel = max(256, traits.working_set_bytes // kernels)
+        trips = max(1, sum(traits.loop_trip_count) // 2)
+        stride = max(8, per_kernel // trips)
+        # Keep strides word aligned.
+        return (stride // 8) * 8
+
+    def _emit_body(self, block: BasicBlock, count: int, ctx: _BodyContext) -> None:
+        """Emit ``count`` data-processing instructions into ``block``."""
+        traits = self.traits
+        rng = self.rng
+        for _ in range(count):
+            roll = rng.random()
+            if traits.pointer_chase and roll < traits.mem_fraction * 0.7:
+                self._emit_pointer_chase_step(block, ctx)
+            elif roll < traits.mem_fraction:
+                self._emit_memory_op(block, ctx)
+            elif roll < traits.mem_fraction + traits.mul_fraction:
+                self._emit_mul(block, ctx)
+            else:
+                self._emit_alu(block, ctx)
+
+    def _emit_alu(self, block: BasicBlock, ctx: _BodyContext) -> None:
+        rng = self.rng
+        opcode = rng.choice(_ALU_OPCODES)
+        chain = rng.choice(ctx.chains)
+        if rng.random() < 0.6 or len(ctx.chains) == 1:
+            # Extend the chain with an immediate operand.
+            block.append(Instruction.alu(opcode, chain, [chain], imm=rng.randint(1, 7)))
+        else:
+            other = rng.choice([reg for reg in ctx.chains if reg != chain])
+            block.append(Instruction.alu(opcode, chain, [chain, other]))
+
+    def _emit_mul(self, block: BasicBlock, ctx: _BodyContext) -> None:
+        rng = self.rng
+        chain = rng.choice(ctx.chains)
+        scratch = rng.choice(SCRATCH_REGS)
+        block.append(Instruction.alu(Opcode.MUL, scratch, [chain], imm=rng.randint(3, 9)))
+        block.append(Instruction.alu(Opcode.ADD, chain, [chain, scratch]))
+
+    def _emit_memory_op(self, block: BasicBlock, ctx: _BodyContext) -> None:
+        rng = self.rng
+        traits = self.traits
+        offset = rng.randrange(0, 8) * 8
+        if rng.random() < traits.store_fraction:
+            value = rng.choice(ctx.chains)
+            block.append(Instruction.store(value, ctx.store_pointer, offset))
+        else:
+            dest = rng.choice(SCRATCH_REGS)
+            block.append(Instruction.load(dest, ctx.pointer, offset))
+            chain = rng.choice(ctx.chains)
+            block.append(Instruction.alu(Opcode.ADD, chain, [chain, dest]))
+
+    def _emit_pointer_chase_step(self, block: BasicBlock, ctx: _BodyContext) -> None:
+        """A dependent-load step: p = base + (mem[p] << 5)."""
+        loaded = SCRATCH_REGS[0]
+        shifted = SCRATCH_REGS[1]
+        block.append(Instruction.load(loaded, ctx.pointer, 0))
+        block.append(Instruction.alu(Opcode.SHL, shifted, [loaded], imm=5))
+        block.append(Instruction.alu(Opcode.ADD, ctx.pointer, [shifted, GLOBAL_BASE_A]))
+
+    def _emit_pointer_advance(self, block: BasicBlock, ctx: _BodyContext) -> None:
+        """Strided pointer update executed once per loop iteration."""
+        if self.traits.pointer_chase:
+            return
+        block.append(Instruction.alu(Opcode.ADD, ctx.pointer, [ctx.pointer], imm=ctx.stride))
+        block.append(
+            Instruction.alu(Opcode.ADD, ctx.store_pointer, [ctx.store_pointer], imm=ctx.stride)
+        )
+
+    def _emit_condition(self, block: BasicBlock, ctx: _BodyContext, dest: Reg) -> None:
+        """Compute a branch condition into ``dest``."""
+        if self.rng.random() < self.traits.predictable_branch_fraction:
+            # Loop-counter derived: highly predictable.
+            block.append(Instruction.alu(Opcode.AND, dest, [LOOP_COUNTER], imm=0x7))
+            block.append(Instruction.alu(Opcode.CMP_EQ, dest, [dest], imm=0))
+        else:
+            # Data derived: effectively random per address.
+            scratch = SCRATCH_REGS[2]
+            block.append(Instruction.load(scratch, ctx.pointer, 8))
+            block.append(Instruction.alu(Opcode.AND, dest, [scratch], imm=1))
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def _phase_prologue(self, proc: Procedure, trips: int) -> tuple[BasicBlock, _BodyContext]:
+        """Standard kernel entry block: counters, pointers, chain seeds."""
+        entry = proc.add_block(self._label(f"{proc.name}_entry"))
+        traits = self.traits
+        entry.append(Instruction.load_imm(LOOP_COUNTER, trips))
+        offset_a = self.rng.randrange(0, 64) * 64
+        offset_b = self.rng.randrange(0, 64) * 64
+        entry.append(Instruction.alu(Opcode.ADD, POINTER_A, [GLOBAL_BASE_A], imm=offset_a))
+        entry.append(Instruction.alu(Opcode.ADD, POINTER_B, [GLOBAL_BASE_B], imm=offset_b))
+        chains = CHAIN_REGS[: max(1, traits.ilp_width)]
+        for index, chain in enumerate(chains):
+            entry.append(Instruction.load_imm(chain, index + 1))
+        ctx = _BodyContext(
+            chains=list(chains),
+            pointer=POINTER_A,
+            store_pointer=POINTER_B,
+            stride=self._stride_for_working_set(),
+        )
+        return entry, ctx
+
+    def _build_loop_kernel(self, name: str, leaf_names: list[str]) -> str:
+        """A counted loop whose body mixes ALU, memory and (maybe) calls."""
+        traits = self.traits
+        rng = self.rng
+        proc = self.program.new_procedure(name)
+        trips = self._randint(traits.loop_trip_count)
+        _, ctx = self._phase_prologue(proc, trips)
+
+        head_label = self._label(f"{name}_loop")
+        head = proc.add_block(head_label)
+        body_size = self._randint(traits.loop_body_size)
+
+        has_diamond = rng.random() < traits.branch_in_loop_prob
+        has_call = bool(leaf_names) and rng.random() < traits.call_in_loop_prob
+
+        first_chunk = body_size // 2 if (has_diamond or has_call) else body_size
+        self._emit_body(head, first_chunk, ctx)
+
+        current = head
+        if has_diamond:
+            current = self._emit_diamond(proc, name, current, ctx, body_size // 4 + 1)
+        if has_call:
+            # The call ends its block; execution falls through to the next.
+            current.append(Instruction.call(rng.choice(leaf_names)))
+            current = proc.add_block(self._label(f"{name}_postcall"))
+            self._emit_body(current, max(2, body_size // 4), ctx)
+        elif has_diamond:
+            self._emit_body(current, max(2, body_size // 4), ctx)
+
+        # Loop latch: pointer advance, counter decrement, back edge.
+        latch = current
+        self._emit_pointer_advance(latch, ctx)
+        latch.append(Instruction.alu(Opcode.SUB, LOOP_COUNTER, [LOOP_COUNTER], imm=1))
+        latch.append(Instruction.branch_nez(LOOP_COUNTER, head_label))
+
+        exit_block = proc.add_block(self._label(f"{name}_exit"))
+        exit_block.append(Instruction.ret())
+        return name
+
+    def _emit_diamond(
+        self,
+        proc: Procedure,
+        name: str,
+        current: BasicBlock,
+        ctx: _BodyContext,
+        arm_size: int,
+    ) -> BasicBlock:
+        """Emit an if/else diamond; return the join block (for continuation)."""
+        cond = SCRATCH_REGS[3]
+        self._emit_condition(current, ctx, cond)
+        else_label = self._label(f"{name}_else")
+        join_label = self._label(f"{name}_join")
+        current.append(Instruction.branch_eqz(cond, else_label))
+
+        then_block = proc.add_block(self._label(f"{name}_then"))
+        self._emit_body(then_block, arm_size, ctx)
+        then_block.append(Instruction.jump(join_label))
+
+        else_block = proc.add_block(else_label)
+        self._emit_body(else_block, arm_size, ctx)
+
+        join_block = proc.add_block(join_label)
+        return join_block
+
+    def _build_dag_kernel(self, name: str) -> str:
+        """Straight-line code with a run of if/else diamonds, no loops."""
+        traits = self.traits
+        proc = self.program.new_procedure(name)
+        entry = proc.add_block(self._label(f"{name}_entry"))
+        entry.append(Instruction.alu(Opcode.ADD, POINTER_A, [GLOBAL_BASE_A], imm=128))
+        entry.append(Instruction.alu(Opcode.ADD, POINTER_B, [GLOBAL_BASE_B], imm=256))
+        chains = CHAIN_REGS[: max(1, traits.ilp_width)]
+        for index, chain in enumerate(chains):
+            entry.append(Instruction.load_imm(chain, index + 1))
+        ctx = _BodyContext(
+            chains=list(chains),
+            pointer=POINTER_A,
+            store_pointer=POINTER_B,
+            stride=self._stride_for_working_set(),
+        )
+        self._emit_body(entry, self._randint(traits.dag_block_size), ctx)
+
+        current = entry
+        for _ in range(self._randint(traits.dag_diamonds)):
+            current = self._emit_diamond(
+                proc, name, current, ctx, self._randint(traits.dag_block_size)
+            )
+            self._emit_body(current, self._randint(traits.dag_block_size), ctx)
+        current.append(Instruction.ret())
+        return name
+
+    def _build_switch_kernel(self, name: str) -> str:
+        """A switch-like dispatch: many cases all jumping to one join block."""
+        traits = self.traits
+        proc = self.program.new_procedure(name)
+        fanout = max(4, traits.switch_fanout)
+
+        entry = proc.add_block(self._label(f"{name}_entry"))
+        entry.append(Instruction.alu(Opcode.ADD, POINTER_A, [GLOBAL_BASE_A], imm=512))
+        entry.append(Instruction.alu(Opcode.ADD, POINTER_B, [GLOBAL_BASE_B], imm=512))
+        selector = SCRATCH_REGS[4]
+        entry.append(Instruction.load(selector, POINTER_A, 0))
+        entry.append(Instruction.alu(Opcode.AND, selector, [selector], imm=fanout - 1))
+        chains = CHAIN_REGS[:2]
+        for index, chain in enumerate(chains):
+            entry.append(Instruction.load_imm(chain, index + 1))
+        ctx = _BodyContext(
+            chains=list(chains),
+            pointer=POINTER_A,
+            store_pointer=POINTER_B,
+            stride=64,
+        )
+
+        join_label = self._label(f"{name}_join")
+        case_labels = [self._label(f"{name}_case{i}") for i in range(fanout)]
+
+        # Dispatch chain: compare the selector against each case value.
+        current = entry
+        cmp_reg = SCRATCH_REGS[5]
+        for case_index in range(fanout):
+            current.append(
+                Instruction.alu(Opcode.CMP_EQ, cmp_reg, [selector], imm=case_index)
+            )
+            current.append(Instruction.branch_nez(cmp_reg, case_labels[case_index]))
+            if case_index < fanout - 1:
+                current = proc.add_block(self._label(f"{name}_test{case_index + 1}"))
+        current.append(Instruction.jump(case_labels[-1]))
+
+        # Case bodies, each ending at the common join (high fan-in).
+        for case_index, label in enumerate(case_labels):
+            case_block = proc.add_block(label)
+            self._emit_body(case_block, self._randint(traits.dag_block_size), ctx)
+            case_block.append(Instruction.jump(join_label))
+
+        join_block = proc.add_block(join_label)
+        self._emit_body(join_block, self._randint(traits.dag_block_size), ctx)
+        join_block.append(Instruction.ret())
+        return name
+
+    def _build_call_kernel(self, name: str, leaf_names: list[str]) -> str:
+        """A loop whose body is dominated by calls to leaf procedures."""
+        traits = self.traits
+        rng = self.rng
+        proc = self.program.new_procedure(name)
+        trips = self._randint(traits.loop_trip_count)
+        _, ctx = self._phase_prologue(proc, trips)
+
+        head_label = self._label(f"{name}_loop")
+        head = proc.add_block(head_label)
+        self._emit_body(head, max(3, self._randint(traits.loop_body_size) // 3), ctx)
+
+        current = head
+        num_calls = rng.randint(1, max(1, min(3, len(leaf_names))))
+        for _ in range(num_calls):
+            current.append(Instruction.call(rng.choice(leaf_names)))
+            current = proc.add_block(self._label(f"{name}_postcall"))
+            self._emit_body(current, max(2, self._randint(traits.loop_body_size) // 4), ctx)
+
+        self._emit_pointer_advance(current, ctx)
+        current.append(Instruction.alu(Opcode.SUB, LOOP_COUNTER, [LOOP_COUNTER], imm=1))
+        current.append(Instruction.branch_nez(LOOP_COUNTER, head_label))
+
+        exit_block = proc.add_block(self._label(f"{name}_exit"))
+        exit_block.append(Instruction.ret())
+        return name
+
+    # ------------------------------------------------------------------
+    # Leaf and library procedures
+    # ------------------------------------------------------------------
+    def _build_leaf(self, index: int) -> str:
+        """A small straight-line procedure called from kernels."""
+        traits = self.traits
+        rng = self.rng
+        name = f"leaf_{index}"
+        proc = self.program.new_procedure(name)
+        block = proc.add_block(self._label(f"{name}_body"))
+        size = self._randint(traits.leaf_size)
+        regs = SCRATCH_REGS[:8]
+        block.append(Instruction.load(regs[0], POINTER_A, 16))
+        for position in range(size):
+            dest = regs[position % len(regs)]
+            src = regs[(position + 1) % len(regs)]
+            if traits.leaf_mul_heavy and rng.random() < 0.45:
+                block.append(Instruction.alu(Opcode.MUL, dest, [dest, src]))
+            elif rng.random() < 0.15:
+                block.append(Instruction.store(dest, POINTER_B, (position % 8) * 8))
+            else:
+                opcode = rng.choice(_ALU_OPCODES)
+                block.append(Instruction.alu(opcode, dest, [dest, src]))
+        block.append(Instruction.ret())
+        return name
+
+    def _build_library(self, index: int) -> str:
+        """A library routine: executed but never analysed by the compiler."""
+        name = f"lib_{index}"
+        proc = self.program.new_procedure(name, is_library=True)
+        block = proc.add_block(self._label(f"{name}_body"))
+        regs = LIBRARY_REGS
+        block.append(Instruction.load_imm(regs[0], 3))
+        for position in range(12):
+            dest = regs[position % len(regs)]
+            src = regs[(position + 1) % len(regs)]
+            block.append(Instruction.alu(Opcode.ADD, dest, [dest, src], imm=position))
+        block.append(Instruction.ret())
+        return name
+
+    # ------------------------------------------------------------------
+    # main
+    # ------------------------------------------------------------------
+    def _build_main(self, phase_names: list[str], library_names: list[str]) -> None:
+        """The driver: initialise globals, then loop over the phase procedures."""
+        traits = self.traits
+        rng = self.rng
+        proc = self.program.new_procedure("main")
+
+        init = proc.add_block("main_init")
+        init.append(Instruction.load_imm(GLOBAL_BASE_A, DATA_REGION_A))
+        init.append(Instruction.load_imm(GLOBAL_BASE_B, DATA_REGION_B))
+        init.append(Instruction.load_imm(DRIVER_COUNTER, traits.outer_trips))
+
+        head_label = "main_driver"
+        current = proc.add_block(head_label)
+        for phase_index, phase in enumerate(phase_names):
+            current.append(Instruction.call(phase))
+            current = proc.add_block(f"main_after_phase_{phase_index}")
+            if library_names and rng.random() < traits.library_call_prob:
+                current.append(Instruction.call(rng.choice(library_names)))
+                current = proc.add_block(f"main_after_lib_{phase_index}")
+
+        current.append(Instruction.alu(Opcode.SUB, DRIVER_COUNTER, [DRIVER_COUNTER], imm=1))
+        current.append(Instruction.branch_nez(DRIVER_COUNTER, head_label))
+
+        done = proc.add_block("main_done")
+        done.append(Instruction.halt())
+        self.program.entry = "main"
+
+
+def generate_program(traits: BenchmarkTraits) -> Program:
+    """Build the synthetic program described by ``traits``."""
+    return SyntheticProgramGenerator(traits).build()

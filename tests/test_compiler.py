@@ -1,0 +1,288 @@
+"""Tests for the compiler analysis and instrumentation (:mod:`repro.core`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompilerConfig, compile_program
+from repro.core.dag_analysis import PathSummary, analyse_block, analyse_dag_region
+from repro.core.instrument import instrument_program
+from repro.core.interprocedural import (
+    apply_interprocedural_refinement,
+    summarise_call_sites,
+)
+from repro.core.loop_analysis import analyse_loop_body
+from repro.core.pipeline import analyse_program, compute_preheader_hints
+from repro.core.pseudo_queue import PseudoIssueQueue
+from repro.core.report import compare_compile_times, measure_baseline_compile
+from repro.cfg import build_cfg, find_dag_regions, find_natural_loops
+from repro.isa import Instruction, Opcode
+from repro.isa.opcodes import FuClass
+from repro.isa.registers import int_reg as r
+from tests.conftest import make_call_program, make_counted_loop_program
+
+
+class TestCompilerConfig:
+    def test_load_latency_includes_cache_hit(self):
+        config = CompilerConfig()
+        load = Instruction.load(r(1), r(2), 0)
+        assert config.instruction_latency(load) == 1 + config.assumed_l1_hit_latency
+
+    def test_clamp_applies_margin_and_bounds(self):
+        config = CompilerConfig(sizing_margin=1.0, sizing_slack=0)
+        assert config.clamp_requirement(500) == config.max_iq_entries
+        assert config.clamp_requirement(0) == config.min_hint_value
+        assert config.clamp_requirement(20) == 20
+
+    def test_margin_enlarges_requirements(self):
+        tight = CompilerConfig(sizing_margin=1.0, sizing_slack=0)
+        loose = CompilerConfig(sizing_margin=2.0, sizing_slack=0)
+        assert loose.clamp_requirement(20) > tight.clamp_requirement(20)
+
+
+class TestPseudoIssueQueue:
+    def test_empty_sequence(self):
+        schedule = PseudoIssueQueue(CompilerConfig()).schedule([])
+        assert schedule.entries_needed == 0
+        assert schedule.schedule_length == 0
+
+    def test_serial_chain_needs_one_entry(self):
+        instrs = [Instruction.alu(Opcode.ADD, r(1), [r(1)], imm=1) for _ in range(6)]
+        schedule = PseudoIssueQueue(CompilerConfig()).schedule(instrs)
+        assert schedule.entries_needed == 1
+
+    def test_independent_instructions_limited_by_issue_width(self):
+        instrs = [
+            Instruction.alu(Opcode.ADD, r(i % 20 + 1), [r(21)], imm=i) for i in range(16)
+        ]
+        config = CompilerConfig()
+        schedule = PseudoIssueQueue(config).schedule(instrs)
+        # Six integer ALUs bound the per-cycle issue, not the width of 8.
+        assert schedule.entries_needed >= config.fu_counts[FuClass.INT_ALU]
+
+    def test_fu_contention_serialises_multiplies(self):
+        config = CompilerConfig()
+        muls = [Instruction.alu(Opcode.MUL, r(i + 1), [r(20)], imm=3) for i in range(6)]
+        schedule = PseudoIssueQueue(config).schedule(muls)
+        cycles_with_issue = {c for c in schedule.issue_cycle}
+        assert len(cycles_with_issue) >= 2  # only 3 multipliers available
+
+    def test_entry_latency_delays_dependent_issue(self):
+        config = CompilerConfig()
+        instrs = [Instruction.alu(Opcode.ADD, r(2), [r(1)])]
+        delayed = PseudoIssueQueue(config).schedule(instrs, entry_latency={r(1): 5})
+        immediate = PseudoIssueQueue(config).schedule(instrs)
+        assert delayed.issue_cycle[0] > immediate.issue_cycle[0]
+
+    def test_hints_are_ignored(self):
+        instrs = [Instruction.hint(10), Instruction.alu(Opcode.ADD, r(1), [r(1)])]
+        schedule = PseudoIssueQueue(CompilerConfig()).schedule(instrs)
+        assert len(schedule.issue_cycle) == 1
+
+    def test_exit_latency_reports_pending_writebacks(self):
+        config = CompilerConfig()
+        instrs = [
+            Instruction.alu(Opcode.ADD, r(1), [r(5)]),
+            Instruction.alu(Opcode.MUL, r(2), [r(1)], imm=3),
+        ]
+        schedule = PseudoIssueQueue(config).schedule(instrs)
+        assert r(2) in schedule.exit_latency
+
+
+class TestDagAnalysis:
+    def test_single_block_requirement(self, counted_loop_program):
+        block = counted_loop_program.procedures["main"].find_block("loop")
+        requirement = analyse_block(block, CompilerConfig(), "main")
+        assert requirement.raw_entries >= 1
+        assert requirement.source == "dag"
+        assert requirement.entries >= requirement.raw_entries  # margin applied
+
+    def test_region_analysis_covers_all_blocks(self):
+        program = make_call_program()
+        procedure = program.procedures["main"]
+        cfg = build_cfg(procedure)
+        loops = find_natural_loops(cfg)
+        regions = find_dag_regions(cfg, loops)
+        config = CompilerConfig()
+        analysed: set[str] = set()
+        for region in regions:
+            analysed |= set(analyse_dag_region(cfg, region, config))
+        loop_blocks = {label for loop in loops for label in loop.body}
+        expected = {b.label for b in procedure.blocks} - loop_blocks
+        assert analysed == expected
+
+    def test_path_summary_merging(self):
+        a = PathSummary(latency={r(1): 3})
+        b = PathSummary(latency={r(1): 5, r(2): 1})
+        merged = a.merged_with(b, "max")
+        assert merged.latency[r(1)] == 5 and merged.latency[r(2)] == 1
+        assert a.merged_with(b, "ready").latency == {}
+
+
+class TestLoopAnalysis:
+    def test_no_recurrence_requests_full_queue(self):
+        config = CompilerConfig()
+        body = [Instruction.alu(Opcode.ADD, r(i + 1), [r(20)], imm=1) for i in range(4)]
+        requirement = analyse_loop_body(body, config)
+        assert requirement.raw_entries == config.max_iq_entries
+        assert requirement.initiation_interval == 0.0
+
+    def test_empty_body(self):
+        config = CompilerConfig()
+        requirement = analyse_loop_body([], config)
+        assert requirement.entries == config.min_hint_value
+
+    def test_counter_loop_has_unit_recurrence(self):
+        config = CompilerConfig()
+        body = [
+            Instruction.alu(Opcode.SUB, r(1), [r(1)], imm=1),
+            Instruction.branch_nez(r(1), "loop"),
+        ]
+        requirement = analyse_loop_body(body, config)
+        assert requirement.initiation_interval == pytest.approx(1.0, abs=1e-6)
+
+    def test_requirement_clamped_to_queue_size(self):
+        config = CompilerConfig()
+        body = [Instruction.alu(Opcode.ADD, r(1), [r(1)], imm=1)]
+        body += [
+            Instruction.alu(Opcode.ADD, r(2 + i % 18), [r(20)], imm=1) for i in range(200)
+        ]
+        requirement = analyse_loop_body(body, config)
+        assert requirement.entries <= config.max_iq_entries
+
+    def test_resource_bound_raises_initiation_interval(self):
+        config = CompilerConfig()
+        # One-cycle recurrence but 40 instructions per iteration: the 8-wide
+        # issue bounds the achievable rate at 5 cycles per iteration.
+        body = [Instruction.alu(Opcode.ADD, r(1), [r(1)], imm=1)]
+        body += [Instruction.alu(Opcode.ADD, r(2 + i % 18), [r(2 + i % 18)], imm=1) for i in range(39)]
+        requirement = analyse_loop_body(body, config)
+        assert requirement.initiation_interval >= 40 / config.issue_width - 1e-6
+
+
+class TestInstrumentation:
+    def test_noop_mode_inserts_hints(self, counted_loop_program):
+        config = CompilerConfig()
+        result = compile_program(counted_loop_program, config, mode="noop")
+        stats = result.instrumentation
+        assert stats.hints_inserted > 0
+        assert stats.instructions_tagged == 0
+        hints = result.instrumented_program.count_opcode(Opcode.HINT)
+        assert hints == stats.hints_inserted
+
+    def test_extension_mode_tags_instead(self, counted_loop_program):
+        result = compile_program(counted_loop_program, CompilerConfig(), mode="extension")
+        stats = result.instrumentation
+        assert stats.instructions_tagged > 0
+        assert stats.hints_inserted == 0
+        assert result.instrumented_program.count_opcode(Opcode.HINT) == 0
+
+    def test_original_program_is_untouched(self, counted_loop_program):
+        before = counted_loop_program.num_instructions
+        compile_program(counted_loop_program, CompilerConfig(), mode="noop")
+        assert counted_loop_program.num_instructions == before
+        assert counted_loop_program.count_opcode(Opcode.HINT) == 0
+
+    def test_loop_hint_is_in_preheader_not_header(self, counted_loop_program):
+        result = compile_program(counted_loop_program, CompilerConfig(), mode="noop")
+        instrumented_main = result.instrumented_program.procedures["main"]
+        loop_block = instrumented_main.find_block("loop")
+        init_block = instrumented_main.find_block("init")
+        assert not any(i.is_hint for i in loop_block.instructions)
+        assert any(i.is_hint for i in init_block.instructions)
+        assert ("main", "init") in result.preheader_hints
+
+    def test_library_call_requests_maximum_size(self, call_program):
+        config = CompilerConfig()
+        result = compile_program(call_program, config, mode="noop")
+        tail = result.instrumented_program.procedures["main"].find_block("tail")
+        hints = [i for i in tail.instructions if i.is_hint]
+        assert any(h.hint_value == config.max_iq_entries for h in hints)
+
+    def test_library_procedures_not_analysed(self, call_program):
+        result = compile_program(call_program, CompilerConfig(), mode="noop")
+        assert not any(key[0] == "libfn" for key in result.block_requirements)
+        lib_body = result.instrumented_program.procedures["libfn"].blocks[0]
+        assert not any(i.is_hint for i in lib_body.instructions)
+
+    def test_unknown_mode_rejected(self, counted_loop_program):
+        with pytest.raises(ValueError):
+            compile_program(counted_loop_program, CompilerConfig(), mode="bogus")
+        with pytest.raises(ValueError):
+            instrument_program(counted_loop_program, {}, CompilerConfig(), mode="bogus")
+
+    def test_redundant_hints_skipped(self, gzip_compiled):
+        assert gzip_compiled.instrumentation.hints_skipped_redundant >= 0
+        # Every analysed DAG block either emitted a hint or was skipped as
+        # redundant; never silently dropped.
+        emitted = gzip_compiled.instrumentation.hints_inserted
+        assert emitted > 0
+
+
+class TestPipeline:
+    def test_analysis_covers_all_analysable_procedures(self, gzip_program):
+        requirements, loops, proc_stats = analyse_program(gzip_program, CompilerConfig())
+        analysed_procs = {key[0] for key in requirements}
+        expected = {p.name for p in gzip_program.analysable_procedures()}
+        assert analysed_procs == expected
+        assert len(proc_stats) == len(expected)
+        assert loops  # synthetic benchmarks always contain loops
+
+    def test_preheader_hints_reference_real_blocks(self, gzip_compiled):
+        program = gzip_compiled.program
+        for (proc_name, label), value in gzip_compiled.preheader_hints.items():
+            assert program.procedures[proc_name].find_block(label) is not None
+            assert value >= 1
+
+    def test_requirements_within_physical_bounds(self, gzip_compiled):
+        config = CompilerConfig()
+        for requirement in gzip_compiled.block_requirements.values():
+            assert config.min_hint_value <= requirement.entries <= config.max_iq_entries
+
+    def test_mean_requirement_positive(self, gzip_compiled):
+        assert gzip_compiled.mean_requirement > 0
+
+    def test_improved_mode_never_shrinks_requirements(self, gzip_program):
+        config = CompilerConfig()
+        extension = compile_program(gzip_program, config, mode="extension")
+        improved = compile_program(gzip_program, config, mode="improved")
+        for key, requirement in extension.block_requirements.items():
+            refined = improved.block_requirements.get(key)
+            if refined is not None:
+                assert refined.entries >= requirement.entries
+
+
+class TestInterprocedural:
+    def test_call_sites_found(self, call_program):
+        summary = summarise_call_sites(call_program, CompilerConfig())
+        callees = {site.callee for site in summary.call_sites}
+        assert callees == {"leaf", "libfn"}
+        leaf_sites = [s for s in summary.call_sites if s.callee == "leaf"]
+        assert leaf_sites[0].in_loop
+        assert leaf_sites[0].loop_header == "loop"
+
+    def test_library_callee_never_hot(self, call_program):
+        summary = summarise_call_sites(call_program, CompilerConfig())
+        assert "libfn" not in summary.hot_procedures
+        assert "leaf" in summary.hot_procedures
+
+    def test_refinement_enlarges_call_site_requirements(self, call_program):
+        config = CompilerConfig()
+        requirements, loop_requirements, _ = analyse_program(call_program, config)
+        refined = apply_interprocedural_refinement(
+            call_program, requirements, config, loop_requirements
+        )
+        key = ("main", "loop")
+        assert refined[key].entries >= requirements[key].entries
+
+
+class TestCompileTimeReport:
+    def test_baseline_time_positive(self, gzip_program):
+        assert measure_baseline_compile(gzip_program) > 0
+
+    def test_report_row_contents(self, counted_loop_program):
+        report = compare_compile_times(counted_loop_program, CompilerConfig())
+        assert report.program_name == "counted-loop"
+        assert report.limited_seconds > 0
+        assert report.hints_emitted > 0
+        assert report.num_blocks == counted_loop_program.num_basic_blocks

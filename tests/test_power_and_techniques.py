@@ -1,0 +1,176 @@
+"""Tests for the power model and the resizing-policy objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power import EnergyParams, build_power_report, power_savings
+from repro.techniques import (
+    AbellaPolicy,
+    BaselinePolicy,
+    FixedLimitPolicy,
+    NonEmptyPolicy,
+    SoftwareDirectedPolicy,
+)
+from repro.uarch import SimulationStats, simulate
+from repro.workloads import build_benchmark
+
+
+def make_stats(
+    cycles: int = 1000,
+    broadcasts: int = 800,
+    cmp_full: int = 800 * 160,
+    cmp_gated: int = 800 * 20,
+    banks_on: int = 6,
+    rf_banks_on: int = 9,
+) -> SimulationStats:
+    stats = SimulationStats(iq_banks_total=10, rf_banks_total=14)
+    stats.cycles = cycles
+    stats.sampled_cycles = cycles
+    stats.iq_broadcasts = broadcasts
+    stats.iq_cmp_full = cmp_full
+    stats.iq_cmp_gated = cmp_gated
+    stats.iq_dispatch_writes = 1200
+    stats.iq_issue_reads = 1200
+    stats.iq_banks_on_sum = banks_on * cycles
+    stats.rf_banks_on_sum = rf_banks_on * cycles
+    stats.rf_reads = 2000
+    stats.rf_writes = 1100
+    return stats
+
+
+class TestPowerModel:
+    def test_baseline_uses_full_cam_and_all_banks(self):
+        stats = make_stats()
+        report = build_power_report(stats, BaselinePolicy())
+        params = EnergyParams()
+        assert report.iq.wakeup == pytest.approx(stats.iq_cmp_full * params.iq_cmp_energy)
+        assert report.iq.static == pytest.approx(
+            params.iq_bank_leakage * stats.sampled_cycles * 10
+        )
+
+    def test_gated_policy_uses_gated_comparisons(self):
+        stats = make_stats()
+        report = build_power_report(stats, SoftwareDirectedPolicy())
+        params = EnergyParams()
+        assert report.iq.wakeup == pytest.approx(stats.iq_cmp_gated * params.iq_cmp_energy)
+
+    def test_bank_gating_reduces_static_power(self):
+        stats = make_stats(banks_on=3)
+        gated = build_power_report(stats, SoftwareDirectedPolicy())
+        ungated = build_power_report(stats, BaselinePolicy())
+        assert gated.iq.static < ungated.iq.static
+        assert gated.rf.static < ungated.rf.static
+
+    def test_ungated_fraction_limits_static_savings(self):
+        params = EnergyParams(iq_ungated_static_fraction=0.5)
+        stats = make_stats(banks_on=0)
+        gated = build_power_report(stats, SoftwareDirectedPolicy(), params)
+        ungated = build_power_report(stats, BaselinePolicy(), params)
+        saving = 1 - gated.iq.static / ungated.iq.static
+        assert saving == pytest.approx(0.5, abs=1e-6)
+
+    def test_savings_computation(self):
+        baseline = build_power_report(make_stats(), BaselinePolicy())
+        technique = build_power_report(make_stats(banks_on=4), SoftwareDirectedPolicy())
+        savings = power_savings(baseline, technique)
+        assert 0 < savings.iq_dynamic < 1
+        assert 0 < savings.iq_static < 1
+        pct = savings.as_percentages()
+        assert pct["iq_dynamic_pct"] == pytest.approx(100 * savings.iq_dynamic)
+
+    def test_identical_runs_have_zero_savings(self):
+        baseline = build_power_report(make_stats(), BaselinePolicy())
+        savings = power_savings(baseline, baseline)
+        assert savings.iq_dynamic == pytest.approx(0.0)
+        assert savings.rf_static == pytest.approx(0.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyParams(iq_cmp_energy=-1).validate()
+        with pytest.raises(ValueError):
+            EnergyParams(rf_ungated_static_fraction=1.5).validate()
+
+    def test_dynamic_power_per_cycle(self):
+        stats = make_stats(cycles=2000)
+        report = build_power_report(stats, BaselinePolicy())
+        assert report.iq.dynamic_power == pytest.approx(report.iq.dynamic / 2000)
+
+
+class TestPolicyObjects:
+    @pytest.mark.parametrize(
+        "policy_cls,expected_gating",
+        [
+            (BaselinePolicy, "full"),
+            (NonEmptyPolicy, "nonempty"),
+            (AbellaPolicy, "nonempty"),
+            (SoftwareDirectedPolicy, "nonempty"),
+        ],
+    )
+    def test_gating_declarations(self, policy_cls, expected_gating):
+        assert policy_cls().wakeup_gating == expected_gating
+
+    def test_only_software_uses_hints(self):
+        assert SoftwareDirectedPolicy().uses_hints
+        assert not BaselinePolicy().uses_hints
+        assert not AbellaPolicy().uses_hints
+        assert not NonEmptyPolicy().uses_hints
+
+    def test_describe(self):
+        description = SoftwareDirectedPolicy("extension").describe()
+        assert description["name"] == "software-extension"
+        assert description["uses_hints"] is True
+
+    def test_fixed_limit_validation(self):
+        with pytest.raises(ValueError):
+            FixedLimitPolicy(0)
+
+    def test_software_policy_clamps_tiny_hints(self):
+        policy = SoftwareDirectedPolicy(min_region_entries=4)
+
+        class _FakeIq:
+            def __init__(self):
+                self.value = None
+
+            def start_new_region(self, value):
+                self.value = value
+
+        class _FakeCore:
+            iq = _FakeIq()
+
+        core = _FakeCore()
+        policy.on_hint(core, 1)
+        assert core.iq.value == 4
+        assert policy.hints_applied == 1
+
+
+class TestEndToEndPowerOrdering:
+    """Relative power behaviour on a real benchmark run (small budget)."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        program = build_benchmark("mcf")
+        runs = {}
+        for name, policy in (
+            ("baseline", BaselinePolicy()),
+            ("nonempty", NonEmptyPolicy()),
+            ("fixed", FixedLimitPolicy(24)),
+        ):
+            stats = simulate(program, policy, max_instructions=2500, warmup_instructions=500)
+            runs[name] = build_power_report(stats, policy)
+        return runs
+
+    def test_nonempty_saves_dynamic_but_not_static(self, reports):
+        savings = power_savings(reports["baseline"], reports["nonempty"])
+        assert savings.iq_dynamic > 0.1
+        assert savings.iq_static == pytest.approx(0.0, abs=1e-9)
+
+    def test_resizing_saves_static_power(self, reports):
+        savings = power_savings(reports["baseline"], reports["fixed"])
+        assert savings.iq_static > 0.05
+        assert savings.iq_dynamic > 0.1
+
+    def test_resizing_beats_gating_alone(self, reports):
+        gating_only = power_savings(reports["baseline"], reports["nonempty"])
+        resizing = power_savings(reports["baseline"], reports["fixed"])
+        assert resizing.iq_dynamic >= gating_only.iq_dynamic

@@ -1,0 +1,110 @@
+"""The paper's worked examples, reproduced exactly.
+
+* Figure 1: limiting the 6-instruction block to 2 IQ entries does not slow
+  it down (the block's requirement is 2).
+* Figure 3: the DAG analysis needs 4 entries for the example block.
+* Figure 4: the loop analysis derives the offsets (i, i+1, i+2, i+2, i+3,
+  i+3) and a requirement of 15 entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompilerConfig
+from repro.core.loop_analysis import analyse_loop_body
+from repro.core.pseudo_queue import PseudoIssueQueue
+from repro.isa import Instruction, Opcode
+from repro.isa.registers import int_reg as r
+
+
+@pytest.fixture
+def config() -> CompilerConfig:
+    # Raw requirements (before the calibration margin) are what the paper's
+    # examples quote, so the examples are checked against raw values.
+    return CompilerConfig()
+
+
+def figure1_block() -> list[Instruction]:
+    """a,b independent; c<-a, d<-b, e<-(c,d), f<-(b,d); unit latencies."""
+    return [
+        Instruction.alu(Opcode.ADD, r(1), [r(1)], imm=1),   # a
+        Instruction.alu(Opcode.ADD, r(2), [r(2)], imm=2),   # b
+        Instruction.alu(Opcode.ADD, r(3), [r(1)], imm=5),   # c (mul in the paper;
+        Instruction.alu(Opcode.ADD, r(4), [r(2)], imm=5),   # d  unit latency as assumed there)
+        Instruction.alu(Opcode.ADD, r(5), [r(3), r(4)]),    # e
+        Instruction.alu(Opcode.ADD, r(6), [r(2), r(4)]),    # f
+    ]
+
+
+def figure3_block() -> list[Instruction]:
+    """a; b<-a; c<-b; d<-a; e<-d; f<-d."""
+    return [
+        Instruction.alu(Opcode.ADD, r(1), [r(10)]),  # a
+        Instruction.alu(Opcode.ADD, r(2), [r(1)]),   # b
+        Instruction.alu(Opcode.ADD, r(3), [r(2)]),   # c
+        Instruction.alu(Opcode.ADD, r(4), [r(1)]),   # d
+        Instruction.alu(Opcode.ADD, r(5), [r(4)]),   # e
+        Instruction.alu(Opcode.ADD, r(6), [r(4)]),   # f
+    ]
+
+
+def figure4_loop() -> list[Instruction]:
+    """a=a+1; b=a+1; c=b+1; d=b+1; e=d+1; f=c+1 (loop body)."""
+    return [
+        Instruction.alu(Opcode.ADD, r(1), [r(1)], imm=1),  # a
+        Instruction.alu(Opcode.ADD, r(2), [r(1)], imm=1),  # b
+        Instruction.alu(Opcode.ADD, r(3), [r(2)], imm=1),  # c
+        Instruction.alu(Opcode.ADD, r(4), [r(2)], imm=1),  # d
+        Instruction.alu(Opcode.ADD, r(5), [r(4)], imm=1),  # e
+        Instruction.alu(Opcode.ADD, r(6), [r(3)], imm=1),  # f
+    ]
+
+
+class TestFigure1:
+    def test_block_needs_only_two_entries(self, config):
+        schedule = PseudoIssueQueue(config).schedule(figure1_block())
+        assert schedule.entries_needed == 2
+
+    def test_schedule_takes_three_issue_cycles(self, config):
+        schedule = PseudoIssueQueue(config).schedule(figure1_block())
+        assert schedule.issue_cycle == [0, 0, 1, 1, 2, 2]
+
+    def test_wakeup_saving_argument(self, config):
+        """The limited queue saves wakeups because fewer waiting operands exist.
+
+        The paper quotes 18 wakeups unlimited versus 10 limited (a 44%
+        saving); the exact counts depend on modelling details, but limiting
+        must never increase the per-broadcast comparisons.
+        """
+        schedule = PseudoIssueQueue(config).schedule(figure1_block())
+        assert max(schedule.per_cycle_need) <= 2
+
+
+class TestFigure3:
+    def test_four_entries_needed(self, config):
+        schedule = PseudoIssueQueue(config).schedule(figure3_block())
+        assert schedule.entries_needed == 4
+
+    def test_issue_pattern_matches_paper(self, config):
+        schedule = PseudoIssueQueue(config).schedule(figure3_block())
+        # iteration 0: a; iteration 1: b, d; iteration 2: c, e, f.
+        assert schedule.issue_cycle == [0, 1, 2, 1, 2, 2]
+
+
+class TestFigure4:
+    def test_initiation_interval_is_one(self, config):
+        requirement = analyse_loop_body(figure4_loop(), config)
+        assert requirement.initiation_interval == pytest.approx(1.0, abs=1e-6)
+
+    def test_iteration_offsets_match_paper(self, config):
+        requirement = analyse_loop_body(figure4_loop(), config)
+        assert requirement.iteration_offsets == [0, 1, 2, 2, 3, 3]
+
+    def test_fifteen_entries_needed(self, config):
+        requirement = analyse_loop_body(figure4_loop(), config)
+        assert requirement.raw_entries == 15
+
+    def test_cds_contains_the_self_dependent_instruction(self, config):
+        requirement = analyse_loop_body(figure4_loop(), config)
+        assert 0 in requirement.cds
