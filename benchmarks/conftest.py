@@ -1,9 +1,16 @@
 """Shared fixtures for the figure/table regeneration benchmarks.
 
-One :class:`SuiteRunner` is shared by every benchmark module so each
-(benchmark, technique) pair is simulated exactly once per pytest session;
-the per-figure benchmarks then measure the figure-assembly step and, more
-importantly, print the regenerated numbers next to the paper's values.
+One :class:`ParallelSuiteRunner` is shared by every benchmark module so
+each (benchmark, technique) pair is simulated exactly once per pytest
+session; the per-figure benchmarks then measure the figure-assembly step
+and, more importantly, print the regenerated numbers next to the paper's
+values.
+
+The grid is populated up front by ``run_suite`` — fanned out over
+``REPRO_WORKERS`` processes (or the ``--workers`` option) and backed by
+the on-disk result cache under ``benchmarks/.figure-cache`` — so re-runs
+with unchanged configuration skip simulation entirely.  Delete that
+directory (or change any configuration input) to force re-simulation.
 
 The instruction budget below is the compromise between fidelity and the
 runtime of a pure-Python cycle-level simulator; raise it (e.g. to 100k+)
@@ -12,12 +19,21 @@ for a higher-fidelity reproduction run.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
-from repro.harness import RunConfig, SuiteRunner
+from repro.harness import ParallelSuiteRunner, RunConfig
+
+CACHE_DIR = Path(__file__).parent / ".figure-cache"
 
 
 @pytest.fixture(scope="session")
-def runner() -> SuiteRunner:
-    return SuiteRunner(RunConfig(max_instructions=8_000, warmup_instructions=2_500))
-
+def runner(suite_workers) -> ParallelSuiteRunner:
+    runner = ParallelSuiteRunner(
+        RunConfig(max_instructions=16_000, warmup_instructions=4_000),
+        workers=suite_workers,
+        cache_dir=str(CACHE_DIR),
+    )
+    runner.run_suite()
+    return runner

@@ -1,9 +1,81 @@
-"""Small helper to print regenerated figures under a visible banner."""
+"""Print regenerated figures, optionally from a cached-results directory.
+
+Used two ways:
+
+* imported by the figure benchmarks for the :func:`report` banner helper;
+* run as a script to regenerate the paper's figures outside pytest::
+
+      PYTHONPATH=src python benchmarks/figure_report.py \\
+          --cache-dir benchmarks/.figure-cache --workers 4
+
+  With ``--cache-dir`` pointing at a directory populated by a previous
+  run (the figure benchmarks share ``benchmarks/.figure-cache``), cells
+  whose configuration is unchanged are loaded instead of re-simulated,
+  so re-rendering every figure is nearly instant.
+"""
 
 from __future__ import annotations
+
+import argparse
 
 
 def report(title: str, figure) -> None:
     """Print a regenerated figure next to the paper's headline numbers."""
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
     print(figure.to_text())
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of cached simulation results (created if missing)",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="pool size")
+    parser.add_argument("--max-instructions", type=int, default=16_000)
+    parser.add_argument("--warmup-instructions", type=int, default=4_000)
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="benchmark subset (default: the paper's eleven)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.harness import ParallelSuiteRunner, RunConfig, figures
+    from repro.harness.reporting import overall_processor_savings
+
+    config_kwargs = dict(
+        max_instructions=args.max_instructions,
+        warmup_instructions=args.warmup_instructions,
+    )
+    if args.benchmarks:
+        config_kwargs["benchmarks"] = tuple(args.benchmarks)
+    runner = ParallelSuiteRunner(
+        RunConfig(**config_kwargs),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    runner.run_suite()
+    if runner.cache is not None:
+        print(
+            f"cache: {runner.cache.hits} hits, {runner.simulations_run} simulated "
+            f"({runner.cache.directory})"
+        )
+
+    report("Figure 6 - IPC loss, NOOP technique", figures.figure6(runner))
+    report("Figure 7 - issue-queue occupancy", figures.figure7(runner))
+    report("Figure 8 - issue-queue power, NOOP", figures.figure8(runner))
+    report("Figure 9 - register-file power, NOOP", figures.figure9(runner))
+    report("Figure 10 - IPC loss, extensions", figures.figure10(runner))
+    report("Figure 11 - issue-queue power, extensions", figures.figure11(runner))
+    report("Figure 12 - register-file power, extensions", figures.figure12(runner))
+    print()
+    for technique in ("noop", "extension", "improved"):
+        savings = overall_processor_savings(runner, technique)
+        print(f"overall processor power saving, {technique:10s}: {savings:5.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,10 @@ from repro.uarch import simulate
 from repro.workloads import build_benchmark
 
 
-BUDGET = dict(max_instructions=6_000, warmup_instructions=2_000)
+# The window must be wide enough that the measured segments of the three
+# runs (whose warm-up boundaries fall at different cycles once hint NOOPs
+# shift the commit stream) average out start-of-window noise.
+BUDGET = dict(max_instructions=12_000, warmup_instructions=3_000)
 
 
 def run_encoding_comparison():

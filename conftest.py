@@ -1,0 +1,34 @@
+"""Repository-level pytest configuration.
+
+Adds the ``--workers`` option (default: the ``REPRO_WORKERS`` environment
+variable, else 1) controlling how many processes
+:class:`~repro.harness.parallel.ParallelSuiteRunner`-based tests and the
+figure benchmarks fan out over.  The default of 1 keeps tier-1 runs
+in-process and deterministic; CI or local reproduction runs can pass
+``--workers N`` or export ``REPRO_WORKERS=N`` to exercise the pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser) -> None:
+    # Same "0/unset means no explicit request" convention as
+    # ParallelSuiteRunner's env parsing, but the test default is 1 worker
+    # (in-process, deterministic) where the library defaults to cpu_count.
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_WORKERS") or 0) or 1,
+        help="worker processes for parallel suite runners (env: REPRO_WORKERS; "
+        "0/unset means 1 here)",
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_workers(request) -> int:
+    """Worker count for ParallelSuiteRunner-based tests and benchmarks."""
+    return request.config.getoption("--workers")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Parallel, cached evaluation of the (benchmark × technique) grid.
+
+Runs a scaled-down version of the paper's full evaluation — every
+benchmark under every technique — through the parallel experiment engine,
+then prints the figure-6 IPC-loss table.  A second invocation finds every
+cell in the on-disk cache and skips simulation entirely.
+
+Run with::
+
+    PYTHONPATH=src python examples/parallel_suite.py
+    PYTHONPATH=src python examples/parallel_suite.py --workers 8
+
+The cache lives in ``examples/.suite-cache``; delete the directory (or
+change any configuration value) to force re-simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.harness import ParallelSuiteRunner, RunConfig, figures
+from repro.workloads import EXTENDED_BENCHMARKS, SPECINT_BENCHMARKS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="also run the extended families (fpstream, branchstorm, ptrthrash)",
+    )
+    args = parser.parse_args()
+
+    benchmarks = SPECINT_BENCHMARKS + (EXTENDED_BENCHMARKS if args.extended else ())
+    runner = ParallelSuiteRunner(
+        RunConfig(
+            benchmarks=benchmarks,
+            max_instructions=6_000,
+            warmup_instructions=1_500,
+        ),
+        workers=args.workers,
+        cache_dir=str(Path(__file__).parent / ".suite-cache"),
+    )
+
+    start = time.perf_counter()
+    runner.run_suite()
+    elapsed = time.perf_counter() - start
+    print(
+        f"grid of {len(benchmarks)} benchmarks x 6 techniques in {elapsed:.1f}s "
+        f"with {runner.workers} worker(s): {runner.simulations_run} simulated, "
+        f"{runner.cache.hits} from cache"
+    )
+
+    print(figures.figure6(runner).to_text())
+
+
+if __name__ == "__main__":
+    main()

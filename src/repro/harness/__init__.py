@@ -21,6 +21,8 @@ from repro.harness.experiment import (
     TechniqueMetrics,
     TECHNIQUES,
 )
+from repro.harness.cache import ResultCache, simulation_fingerprint
+from repro.harness.parallel import ParallelSuiteRunner, SimulationJob
 from repro.harness import figures
 from repro.harness.figures import FigureData
 from repro.harness.reporting import format_table, overall_processor_savings
@@ -31,6 +33,10 @@ __all__ = [
     "SuiteRunner",
     "TechniqueMetrics",
     "TECHNIQUES",
+    "ResultCache",
+    "simulation_fingerprint",
+    "ParallelSuiteRunner",
+    "SimulationJob",
     "figures",
     "FigureData",
     "format_table",

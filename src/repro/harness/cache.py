@@ -1,0 +1,202 @@
+"""Persistent, content-addressed cache of simulation results.
+
+A simulation run is a pure function of its inputs: the benchmark's
+generator traits, the compiler configuration (for hinted programs), the
+processor configuration, the technique, and the instruction budgets.  The
+cache therefore keys each (benchmark, technique) cell by a SHA-256 digest
+of the canonical JSON encoding of exactly those inputs, and stores the
+:class:`~repro.uarch.stats.SimulationStats` counters as JSON in one file
+per cell.
+
+Invalidation needs no bookkeeping: editing any input — a trait field, a
+sizing margin, a cache geometry, an energy coefficient, the warm-up budget
+— changes the digest, so the stale entry is simply never looked up again.
+Energy parameters are part of the key for conservatism even though power
+reports are recomputed from the cached counters on every load.
+
+Because simulation results also depend on the *code* of the simulator,
+compiler and workload generator, the digest additionally covers the bytes
+of every module in the ``repro`` package: any source edit invalidates the
+whole cache automatically.  :data:`CACHE_FORMAT_VERSION` remains as an
+explicit big hammer (bump it when the stored payload layout itself
+changes).
+
+Entries are written atomically (temp file + ``os.replace``) so concurrent
+workers and concurrent processes can share one cache directory safely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.uarch.stats import SimulationStats
+
+#: Bump when the stored payload layout changes so old entries stop
+#: matching.  Simulation-semantics changes are covered automatically by
+#: :func:`_code_digest`.  Version 2: warm-up clock rebase, I-miss branch
+#: prediction, int-only register-file event counts.
+CACHE_FORMAT_VERSION = 2
+
+
+@functools.lru_cache(maxsize=1)
+def _code_digest() -> str:
+    """Digest of every ``repro`` source module's bytes.
+
+    Simulation results are a function of the simulator's own code, not
+    just its configuration, so the package source participates in each
+    cell's fingerprint; any edit under ``src/repro/`` invalidates the
+    cache without anyone remembering to bump a version constant.
+    """
+    import repro
+
+    # ``repro`` is a namespace package, so use __path__ (``__file__`` is None).
+    package_root = Path(next(iter(repro.__path__)))
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _canonical(value: Any) -> Any:
+    """Convert configs/traits into a JSON-stable structure.
+
+    Dataclasses become field dicts, enums their values, dict keys strings
+    (sorted by ``json.dumps(sort_keys=True)`` at serialisation time), and
+    tuples lists, so equal inputs always produce byte-identical JSON.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {
+            (key.value if isinstance(key, enum.Enum) else str(key)): _canonical(val)
+            for key, val in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def simulation_fingerprint(
+    traits,
+    technique: str,
+    compiler_config,
+    processor_config,
+    energy_params,
+    max_instructions: int,
+    warmup_instructions: int,
+    abella_interval: int,
+) -> str:
+    """SHA-256 digest identifying one simulation cell's full input set."""
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "code": _code_digest(),
+        "traits": _canonical(traits),
+        "technique": technique,
+        "compiler": _canonical(compiler_config),
+        "processor": _canonical(processor_config),
+        "energy": _canonical(energy_params),
+        "max_instructions": max_instructions,
+        "warmup_instructions": warmup_instructions,
+        "abella_interval": abella_interval,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def stats_to_dict(stats: SimulationStats) -> dict:
+    """Flatten a :class:`SimulationStats` into plain JSON-able counters."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(payload: dict) -> SimulationStats:
+    """Rebuild a :class:`SimulationStats` from :func:`stats_to_dict` output."""
+    field_names = {f.name for f in dataclasses.fields(SimulationStats)}
+    return SimulationStats(**{k: v for k, v in payload.items() if k in field_names})
+
+
+class ResultCache:
+    """One-file-per-cell JSON cache of simulation statistics.
+
+    Attributes:
+        directory: cache root (created on first store).
+        hits / misses / stores: lookup counters for tests and reports.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Cache file holding the cell identified by ``fingerprint``."""
+        return self.directory / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> Optional[SimulationStats]:
+        """Return the cached stats for ``fingerprint``, or None on a miss."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats_from_dict(payload["stats"])
+
+    def store(
+        self,
+        fingerprint: str,
+        stats: SimulationStats,
+        benchmark: str = "",
+        technique: str = "",
+    ) -> Path:
+        """Atomically persist ``stats`` under ``fingerprint``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "benchmark": benchmark,
+            "technique": technique,
+            "stats": stats_to_dict(stats),
+        }
+        path = self.path_for(fingerprint)
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        # pathlib's glob matches dot-prefixed names, so exclude in-flight
+        # (or orphaned) ``.tmp-*`` writer files explicitly.
+        return sum(
+            1
+            for path in self.directory.glob("*.json")
+            if not path.name.startswith(".")
+        )

@@ -1,0 +1,246 @@
+"""Parallel, persistently-cached experiment engine.
+
+Every figure in the paper is a (benchmark × technique) grid of mutually
+independent simulations, which makes the evaluation embarrassingly
+parallel: this module fans the grid out over a process pool and backs it
+with the content-addressed disk cache of :mod:`repro.harness.cache` so a
+cell is never simulated twice — not within a run, and not across runs.
+
+Usage::
+
+    from repro.harness import ParallelSuiteRunner, RunConfig
+
+    runner = ParallelSuiteRunner(
+        RunConfig(max_instructions=20_000, warmup_instructions=6_000),
+        workers=8,                     # default: REPRO_WORKERS or cpu_count
+        cache_dir="results-cache",     # default: no on-disk cache
+    )
+    runner.run_suite()                 # simulate every cell, in parallel
+    fig6 = figures.figure6(runner)     # figure assembly hits only caches
+
+Semantics:
+
+* **Determinism** — each simulation is a pure function of its inputs, so
+  results are identical for any worker count; ``run_suite`` collects
+  completed cells back into grid order, so iteration order is also stable.
+* **Cache location** — ``cache_dir`` names a directory (created on
+  demand) holding one JSON file per cell, named by the SHA-256 of the
+  cell's full input set (benchmark traits, compiler/processor/energy
+  configuration, technique, instruction budgets).  Pass the same
+  directory across processes and sessions to share it; it is safe under
+  concurrent writers.
+* **Invalidation** — never explicit: changing any input changes the
+  cell's hash, so stale entries are simply never read again.  Delete the
+  directory to reclaim space.  ``CACHE_FORMAT_VERSION`` participates in
+  the hash, so simulator semantic changes invalidate everything at once.
+* **Workers** — ``workers=1`` runs every job in-process (no pool, no
+  pickling), which tier-1 tests use to exercise this path
+  deterministically; ``workers>1`` uses a ``ProcessPoolExecutor`` with
+  picklable job specs.  The ``REPRO_WORKERS`` environment variable
+  supplies the default.
+* **Compilations** are not cached on disk: they are cheap relative to
+  simulation, required in-process anyway for table 2 and the
+  per-result ``compilation`` field, and already memoised per runner.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core import compile_program
+from repro.harness.cache import ResultCache, simulation_fingerprint, stats_from_dict, stats_to_dict
+from repro.harness.experiment import (
+    BenchmarkResult,
+    RunConfig,
+    SOFTWARE_TECHNIQUES,
+    SuiteRunner,
+    TECHNIQUES,
+    make_policy,
+)
+from repro.power import build_power_report
+from repro.uarch import SimulationStats, simulate
+from repro.workloads import ALL_TRAITS, build_benchmark
+
+
+@dataclass
+class SimulationJob:
+    """Picklable description of one (benchmark, technique) simulation."""
+
+    benchmark: str
+    technique: str
+    config: RunConfig
+
+    def fingerprint(self) -> str:
+        """Content hash of the job's full input set (see :mod:`.cache`)."""
+        config = self.config
+        return simulation_fingerprint(
+            ALL_TRAITS[self.benchmark],
+            self.technique,
+            config.compiler_config,
+            config.processor_config,
+            config.energy_params,
+            config.max_instructions,
+            config.warmup_instructions,
+            config.abella_interval,
+        )
+
+
+def run_simulation_job(job: SimulationJob, program=None) -> dict:
+    """Execute one grid cell and return its statistics as a plain dict.
+
+    Runs inside pool workers, so it takes and returns only picklable
+    values; the dict form is also exactly what the disk cache stores.
+    The in-process path passes ``program`` from the runner's compilation
+    memo so software-technique cells are not compiled twice.
+    """
+    config = job.config
+    policy = make_policy(job.technique, config)
+    if program is None:
+        if job.technique in SOFTWARE_TECHNIQUES:
+            compilation = compile_program(
+                build_benchmark(job.benchmark), config.compiler_config, mode=job.technique
+            )
+            program = compilation.instrumented_program
+        else:
+            program = build_benchmark(job.benchmark)
+    stats = simulate(
+        program,
+        policy,
+        config=config.processor_config,
+        max_instructions=config.max_instructions,
+        warmup_instructions=config.warmup_instructions,
+    )
+    return stats_to_dict(stats)
+
+
+class ParallelSuiteRunner(SuiteRunner):
+    """Drop-in :class:`SuiteRunner` with fan-out and a persistent cache.
+
+    Attributes:
+        workers: process-pool size (1 means run jobs in-process).
+        cache: the :class:`ResultCache`, or None when running uncached.
+        simulations_run: cells actually simulated by this runner.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunConfig] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ):
+        super().__init__(config)
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS") or 0) or os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------
+    def result(self, benchmark: str, technique: str) -> BenchmarkResult:
+        """One cell, consulting memory first, then disk, then simulating."""
+        key = (benchmark, technique)
+        if key in self._results:
+            return self._results[key]
+        job = SimulationJob(benchmark, technique, self.config)
+        stats = self._cached_stats(job)
+        if stats is None:
+            stats = stats_from_dict(run_simulation_job(job, self._program_for(job)))
+            self.simulations_run += 1
+            self._store(job, stats)
+        result = self._build_result(job, stats)
+        self._results[key] = result
+        return result
+
+    def run_suite(
+        self,
+        techniques: Iterable[str] = TECHNIQUES,
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> dict[tuple[str, str], BenchmarkResult]:
+        """Populate the whole grid, fanning uncached cells over the pool.
+
+        Returns the results in deterministic grid order (benchmarks outer,
+        techniques inner) regardless of worker completion order.
+        """
+        techniques = tuple(techniques)  # survive one-shot iterators
+        if benchmarks is None:
+            benchmarks = self.config.benchmarks
+        grid = [
+            (benchmark, technique)
+            for benchmark in benchmarks
+            for technique in techniques
+        ]
+        pending: list[SimulationJob] = []
+        stats_by_key: dict[tuple[str, str], SimulationStats] = {}
+        for benchmark, technique in grid:
+            if (benchmark, technique) in self._results:
+                continue
+            job = SimulationJob(benchmark, technique, self.config)
+            cached = self._cached_stats(job)
+            if cached is not None:
+                stats_by_key[(benchmark, technique)] = cached
+            else:
+                pending.append(job)
+
+        if pending:
+            if self.workers == 1:
+                payloads = [
+                    run_simulation_job(job, self._program_for(job)) for job in pending
+                ]
+            else:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    payloads = list(pool.map(run_simulation_job, pending))
+            self.simulations_run += len(pending)
+            for job, payload in zip(pending, payloads):
+                stats = stats_from_dict(payload)
+                self._store(job, stats)
+                stats_by_key[(job.benchmark, job.technique)] = stats
+
+        for benchmark, technique in grid:
+            key = (benchmark, technique)
+            if key not in self._results:
+                job = SimulationJob(benchmark, technique, self.config)
+                self._results[key] = self._build_result(job, stats_by_key[key])
+        return {key: self._results[key] for key in grid}
+
+    # ------------------------------------------------------------------
+    def _program_for(self, job: SimulationJob):
+        """The job's program, via the runner's compilation memo in-process."""
+        if job.technique in SOFTWARE_TECHNIQUES:
+            return self.compilation(job.benchmark, job.technique).instrumented_program
+        return build_benchmark(job.benchmark)
+
+    def _cached_stats(self, job: SimulationJob) -> Optional[SimulationStats]:
+        if self.cache is None:
+            return None
+        return self.cache.load(job.fingerprint())
+
+    def _store(self, job: SimulationJob, stats: SimulationStats) -> None:
+        if self.cache is not None:
+            self.cache.store(
+                job.fingerprint(), stats, benchmark=job.benchmark, technique=job.technique
+            )
+
+    def _build_result(self, job: SimulationJob, stats: SimulationStats) -> BenchmarkResult:
+        """Assemble the full result record from (possibly cached) counters.
+
+        Power reports are pure functions of the counters, so they are
+        recomputed on every load rather than persisted.
+        """
+        policy = make_policy(job.technique, self.config)
+        compilation = None
+        if job.technique in SOFTWARE_TECHNIQUES:
+            compilation = self.compilation(job.benchmark, job.technique)
+        power = build_power_report(stats, policy, self.config.energy_params)
+        return BenchmarkResult(
+            benchmark=job.benchmark,
+            technique=job.technique,
+            stats=stats,
+            power=power,
+            policy_name=policy.name,
+            compilation=compilation,
+        )

@@ -72,6 +72,14 @@ class AbellaPolicy(ResizingPolicy):
         self._interval_start_committed = core.stats.committed_instructions
         self._best_interval_ipc = 0.0
 
+    def on_measurement_start(self, core, cycle_shift: int) -> None:
+        # Keep the interval phase across the boundary: the cycle anchor
+        # shifts with the clock, and the committed anchor restarts at zero
+        # exactly like the stats counter it snapshots (during warm-up that
+        # counter is gated at zero, so zero is the precise old value).
+        self._interval_start_cycle -= cycle_shift
+        self._interval_start_committed = 0
+
     def on_cycle_end(self, core) -> None:
         elapsed = core.cycle - self._interval_start_cycle
         if elapsed < self.interval_cycles:

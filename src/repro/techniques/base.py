@@ -34,6 +34,16 @@ class ResizingPolicy(abc.ABC):
     def on_simulation_start(self, core) -> None:
         """Called once, after the core's structures exist."""
 
+    def on_measurement_start(self, core, cycle_shift: int) -> None:
+        """Called when warm-up ends and the measurement clock rebases.
+
+        The core's clock restarts at zero (an old cycle ``c`` becomes
+        ``c - cycle_shift``) and its statistics counters reset; policies
+        holding absolute cycle anchors or counter snapshots must rebase
+        them here or their heuristics stall until the new clock catches
+        up with the stale anchors.
+        """
+
     def on_hint(self, core, value: int) -> None:
         """Called when a hint NOOP is stripped or a tagged instruction dispatches."""
 

@@ -17,6 +17,7 @@ time equals the resolution delay either way.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
@@ -76,11 +77,10 @@ class OutOfOrderCore:
         self.predictor = HybridBranchPredictor(cfg.branch)
 
         total_tags = cfg.int_phys_regs + cfg.fp_phys_regs
-        self._tag_ready = bytearray([1]) * 1  # replaced below
         self._tag_ready = bytearray([1] * total_tags)
 
         self.cycle = 0
-        self._fetch_queue: list[_FetchQueueEntry] = []
+        self._fetch_queue: deque[_FetchQueueEntry] = deque()
         self._completion_events: dict[int, list[RobEntry]] = {}
         self._iq_entry_by_rob: dict[int, IssueQueueEntry] = {}
 
@@ -148,14 +148,36 @@ class OutOfOrderCore:
                 self._end_warmup()
 
     def _end_warmup(self) -> None:
-        """Reset measurement counters at the end of the warm-up period."""
+        """Reset measurement counters at the end of the warm-up period.
+
+        The measurement clock restarts at zero, so every piece of in-flight
+        timing state expressed in absolute cycles — pending completion
+        events, issue-queue ready cycles, fetch-queue decode times and the
+        front-end resume cycle — is rebased into the new time base.
+        Without the rebase, instructions in flight at the warm-up boundary
+        would complete only when the new clock caught up with their old
+        absolute completion cycles, stalling the machine for roughly the
+        whole warm-up duration.
+        """
         self._warmup_done = True
         preserved = SimulationStats(
             iq_banks_total=self.stats.iq_banks_total,
             rf_banks_total=self.stats.rf_banks_total,
         )
         self.stats = preserved
+        shift = self.cycle
         self.cycle = 0
+        if shift:
+            self._completion_events = {
+                cycle - shift: entries
+                for cycle, entries in self._completion_events.items()
+            }
+            for iq_entry in self._iq_entry_by_rob.values():
+                iq_entry.ready_cycle -= shift
+            for fetch_entry in self._fetch_queue:
+                fetch_entry.decode_ready_cycle -= shift
+            self._fetch_resume_cycle -= shift
+        self.policy.on_measurement_start(self, shift)
 
     # ------------------------------------------------------------------
     # Writeback
@@ -164,22 +186,24 @@ class OutOfOrderCore:
         finishing = self._completion_events.pop(self.cycle, None)
         if not finishing:
             return
+        iq = self.iq
+        tag_ready = self._tag_ready
+        int_phys = self.config.int_phys_regs
+        broadcasts = 0
+        cmp_gated = 0
+        rf_writes = 0
         for entry in finishing:
             self.rob.mark_completed(entry, self.cycle)
-            if entry.dest_tags:
-                self.rename.int_file.record_writes(
-                    sum(1 for tag in entry.dest_tags if tag < self.config.int_phys_regs)
-                )
-                if self._warmup_done:
-                    self.stats.rf_writes += len(entry.dest_tags)
             for tag in entry.dest_tags:
-                self._tag_ready[tag] = 1
-                full, gated = self.iq.comparison_counts()
-                if self._warmup_done:
-                    self.stats.iq_broadcasts += 1
-                    self.stats.iq_cmp_full += full
-                    self.stats.iq_cmp_gated += gated
-                self.iq.broadcast(tag)
+                if tag < int_phys:
+                    rf_writes += 1
+                tag_ready[tag] = 1
+                broadcasts += 1
+                # The gated comparator count is the number of waiting
+                # operands at the instant of this broadcast, so it must be
+                # sampled before each wakeup, not once per writeback group.
+                cmp_gated += iq.waiting_operand_count
+                iq.broadcast(tag)
             # Resolve a front-end block if this was the mispredicted branch.
             if (
                 self._fetch_blocked_on_seq is not None
@@ -187,35 +211,60 @@ class OutOfOrderCore:
                 and entry.dyn.seq == self._fetch_blocked_on_seq
             ):
                 self._fetch_blocked_on_seq = None
-                self._fetch_resume_cycle = self.cycle + self.config.branch_mispredict_penalty
+                # An I-miss on the blocked line may already hold fetch past
+                # the redirect: the front end resumes at the later of the
+                # two, never earlier.
+                self._fetch_resume_cycle = max(
+                    self._fetch_resume_cycle,
+                    self.cycle + self.config.branch_mispredict_penalty,
+                )
+        if self._warmup_done and broadcasts:
+            self.rename.int_file.record_writes(rf_writes)
+            stats = self.stats
+            stats.rf_writes += rf_writes
+            stats.iq_broadcasts += broadcasts
+            stats.iq_cmp_full += broadcasts * iq.cmp_full_per_broadcast
+            stats.iq_cmp_gated += cmp_gated
 
     # ------------------------------------------------------------------
     # Issue / execute
     # ------------------------------------------------------------------
     def _issue(self) -> None:
+        ready = self.iq.ready_entries_in_age_order()
+        if not ready:
+            return
         issued = 0
-        for entry in self.iq.ready_entries_in_age_order():
-            if issued >= self.config.issue_width:
+        cycle = self.cycle
+        width = self.config.issue_width
+        int_phys = self.config.int_phys_regs
+        fus = self.fus
+        rob_entries = self.rob.entries
+        completion_events = self._completion_events
+        rf_reads = 0
+        for entry in ready:
+            if issued >= width:
                 break
-            if entry.ready_cycle > self.cycle:
+            if entry.ready_cycle > cycle:
                 continue
-            if not self.fus.try_acquire(entry.fu_class):
+            if not fus.try_acquire(entry.fu_class):
                 continue
-            rob_entry = self.rob.entries[entry.rob_index]
+            rob_entry = rob_entries[entry.rob_index]
             self.iq.remove(entry)
             del self._iq_entry_by_rob[entry.rob_index]
             self.rob.mark_issued(rob_entry)
             issued += 1
-            if self._warmup_done:
-                self.stats.issued_instructions += 1
-                self.stats.iq_issue_reads += 1
-                self.stats.rf_reads += len(rob_entry.source_tags)
-            self.rename.int_file.record_reads(
-                sum(1 for tag in rob_entry.source_tags if tag < self.config.int_phys_regs)
-            )
+            for tag in rob_entry.source_tags:
+                if tag < int_phys:
+                    rf_reads += 1
             latency = self._execution_latency(rob_entry.dyn)
-            finish = self.cycle + max(1, latency)
-            self._completion_events.setdefault(finish, []).append(rob_entry)
+            finish = cycle + (latency if latency > 1 else 1)
+            completion_events.setdefault(finish, []).append(rob_entry)
+        if issued and self._warmup_done:
+            self.rename.int_file.record_reads(rf_reads)
+            stats = self.stats
+            stats.issued_instructions += issued
+            stats.iq_issue_reads += issued
+            stats.rf_reads += rf_reads
 
     def _execution_latency(self, dyn: DynamicInstruction) -> int:
         instr = dyn.static
@@ -240,12 +289,21 @@ class OutOfOrderCore:
     # Dispatch (rename + issue-queue/ROB allocation)
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
+        fetch_queue = self._fetch_queue
+        if not fetch_queue:
+            return
         dispatched = 0
         stalled_on_region = False
         stalled_on_physical = False
-        while dispatched < self.config.dispatch_width and self._fetch_queue:
-            head = self._fetch_queue[0]
-            if head.decode_ready_cycle > self.cycle:
+        cycle = self.cycle
+        width = self.config.dispatch_width
+        policy = self.policy
+        uses_hints = policy.uses_hints
+        tag_ready = self._tag_ready
+        stats = self.stats if self._warmup_done else None
+        while dispatched < width and fetch_queue:
+            head = fetch_queue[0]
+            if head.decode_ready_cycle > cycle:
                 break
             instr = head.dyn.static
 
@@ -253,23 +311,25 @@ class OutOfOrderCore:
             # It consumes a dispatch slot (the source of the NOOP scheme's
             # small IPC cost) but never reaches the issue queue.
             if instr.is_hint:
-                if self.policy.uses_hints:
-                    self.policy.on_hint(self, instr.hint_value)
-                self._fetch_queue.pop(0)
+                if uses_hints:
+                    policy.on_hint(self, instr.hint_value)
+                fetch_queue.popleft()
                 dispatched += 1
-                if self._warmup_done:
-                    self.stats.hint_noops_stripped += 1
+                if stats is not None:
+                    stats.hint_noops_stripped += 1
                 continue
             if instr.opcode is Opcode.NOP:
-                self._fetch_queue.pop(0)
+                fetch_queue.popleft()
                 dispatched += 1
                 continue
 
             # Tag-carried hints (Extension/Improved) cost no dispatch slot.
-            if instr.iq_tag is not None and self.policy.uses_hints:
-                self.policy.on_hint(self, instr.iq_tag)
-                if self._warmup_done:
-                    self.stats.tagged_instructions_seen += 1
+            if uses_hints and instr.iq_tag is not None:
+                policy.on_hint(self, instr.iq_tag)
+                if stats is not None:
+                    stats.tagged_instructions_seen += 1
+                # Policy hooks may toggle warm-up-independent state only, so
+                # the cached stats reference stays valid across the call.
 
             if not self.rob.can_allocate():
                 break
@@ -283,35 +343,35 @@ class OutOfOrderCore:
                     stalled_on_physical = True
                 break
 
-            self._fetch_queue.pop(0)
+            fetch_queue.popleft()
             renamed = self.rename.rename(instr)
             for tag in renamed.dest_tags:
-                self._tag_ready[tag] = 0
+                tag_ready[tag] = 0
 
             rob_entry = self.rob.allocate(head.dyn)
             rob_entry.dest_tags = renamed.dest_tags
             rob_entry.freed_on_commit = renamed.freed_on_commit
             rob_entry.source_tags = renamed.source_tags
 
-            waiting = {tag for tag in renamed.source_tags if not self._tag_ready[tag]}
+            waiting = {tag for tag in renamed.source_tags if not tag_ready[tag]}
             iq_entry = self.iq.allocate(
                 rob_index=rob_entry.index,
                 waiting_tags=waiting,
                 num_source_operands=len(renamed.source_tags),
                 fu_class=instr.fu_class,
-                ready_cycle=self.cycle + 1,
+                ready_cycle=cycle + 1,
             )
             self._iq_entry_by_rob[rob_entry.index] = iq_entry
             dispatched += 1
-            if self._warmup_done:
-                self.stats.dispatched_instructions += 1
-                self.stats.iq_dispatch_writes += 1
+            if stats is not None:
+                stats.dispatched_instructions += 1
+                stats.iq_dispatch_writes += 1
 
-        if self._warmup_done:
+        if stats is not None:
             if stalled_on_region:
-                self.stats.iq_dispatch_stall_cycles += 1
+                stats.iq_dispatch_stall_cycles += 1
             if stalled_on_physical:
-                self.stats.iq_full_stall_cycles += 1
+                stats.iq_full_stall_cycles += 1
 
     # ------------------------------------------------------------------
     # Fetch
@@ -353,6 +413,11 @@ class OutOfOrderCore:
                         _FetchQueueEntry(dyn, self.cycle + self.config.decode_latency)
                     )
                     fetched += 1
+                    # The missed line still delivers this instruction, so it
+                    # must run branch prediction like any other: a branch
+                    # fetched on a missed line can mispredict and block the
+                    # front end past the miss itself.
+                    self._handle_control_flow(dyn)
                     break
 
             self._fetch_queue.append(

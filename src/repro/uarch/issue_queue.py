@@ -38,6 +38,10 @@ class IssueQueueEntry:
         ready_cycle: earliest cycle the entry may issue (used to enforce the
             one-cycle wakeup-to-issue ordering for operands that were ready
             at dispatch time).
+        age: monotonically increasing allocation number.  The tail advances
+            one slot per allocation and never overtakes the head, so
+            allocation order equals head-to-tail (oldest-first) order; the
+            ready set sorts on this instead of walking the circular buffer.
     """
 
     rob_index: int
@@ -46,6 +50,7 @@ class IssueQueueEntry:
     num_source_operands: int = 0
     fu_class: object = None
     ready_cycle: int = 0
+    age: int = 0
 
     @property
     def is_ready(self) -> bool:
@@ -74,8 +79,15 @@ class BankedIssueQueue:
 
         self.bank_counts = [0] * self.num_banks
         self.waiting_operand_count = 0
+        # Ungated comparator operations per result broadcast: every operand
+        # slot of the whole queue precharges and compares (two per entry).
+        self.cmp_full_per_broadcast = 2 * capacity
         # consumers maps a physical-register tag to the entries waiting on it.
         self._consumers: dict[int, list[IssueQueueEntry]] = {}
+        # Incrementally maintained set of ready entries keyed by age, so the
+        # per-cycle select stage never walks the whole circular buffer.
+        self._ready_by_age: dict[int, IssueQueueEntry] = {}
+        self._next_age = 0
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -159,14 +171,19 @@ class BankedIssueQueue:
             fu_class=fu_class,
             ready_cycle=ready_cycle,
         )
+        entry.age = self._next_age
+        self._next_age += 1
         self.slots[slot] = entry
         self.tail = (self.tail + 1) % self.capacity
         self.count += 1
         self.span += 1
         self.bank_counts[slot // self.bank_size] += 1
         self.waiting_operand_count += len(entry.waiting_tags)
-        for tag in entry.waiting_tags:
-            self._consumers.setdefault(tag, []).append(entry)
+        if entry.waiting_tags:
+            for tag in entry.waiting_tags:
+                self._consumers.setdefault(tag, []).append(entry)
+        else:
+            self._ready_by_age[entry.age] = entry
         return entry
 
     # ------------------------------------------------------------------
@@ -183,20 +200,16 @@ class BankedIssueQueue:
                 entry.waiting_tags.discard(tag)
                 self.waiting_operand_count -= 1
                 woken += 1
+                if not entry.waiting_tags:
+                    self._ready_by_age[entry.age] = entry
         return woken
 
     def ready_entries_in_age_order(self) -> list[IssueQueueEntry]:
         """Valid, ready entries from oldest (head) to youngest (tail)."""
-        result: list[IssueQueueEntry] = []
-        slot = self.head
-        remaining = self.span
-        while remaining > 0:
-            entry = self.slots[slot]
-            if entry is not None and entry.is_ready:
-                result.append(entry)
-            slot = (slot + 1) % self.capacity
-            remaining -= 1
-        return result
+        ready = self._ready_by_age
+        if not ready:
+            return []
+        return [ready[age] for age in sorted(ready)]
 
     def remove(self, entry: IssueQueueEntry) -> None:
         """Remove an issued entry, leaving a hole, and advance the pointers."""
@@ -207,6 +220,7 @@ class BankedIssueQueue:
         self.count -= 1
         self.bank_counts[slot // self.bank_size] -= 1
         self.waiting_operand_count -= len(entry.waiting_tags)
+        self._ready_by_age.pop(entry.age, None)
         self._advance_pointers()
 
     def _advance_pointers(self) -> None:
@@ -231,8 +245,9 @@ class BankedIssueQueue:
         """(ungated, gated) comparator operations for one result broadcast.
 
         Ungated: every operand slot of the whole queue precharges and
-        compares.  Gated: only non-empty, non-ready operands are compared
-        (Folegnani & González's precharge gating, which the resizing
-        techniques inherit).
+        compares (``cmp_full_per_broadcast``).  Gated: only non-empty,
+        non-ready operands are compared (Folegnani & González's precharge
+        gating, which the resizing techniques inherit).  The hot path in
+        the core reads the two underlying attributes directly.
         """
-        return 2 * self.capacity, self.waiting_operand_count
+        return self.cmp_full_per_broadcast, self.waiting_operand_count

@@ -131,8 +131,13 @@ class RenameUnit:
 
     def can_rename(self, instruction) -> bool:
         """True when enough free physical registers exist for the destinations."""
-        int_needed = sum(1 for reg in instruction.dests if not reg.is_fp)
-        fp_needed = sum(1 for reg in instruction.dests if reg.is_fp)
+        int_needed = 0
+        fp_needed = 0
+        for reg in instruction.dests:
+            if reg.is_fp:
+                fp_needed += 1
+            else:
+                int_needed += 1
         return (
             self.int_file.free_count >= int_needed
             and self.fp_file.free_count >= fp_needed

@@ -19,19 +19,30 @@ Public API::
     suite = {name: build_benchmark(name) for name in SPECINT_BENCHMARKS}
 """
 
-from repro.workloads.traits import BenchmarkTraits, SPECINT_TRAITS
+from repro.workloads.traits import (
+    ALL_TRAITS,
+    BenchmarkTraits,
+    EXTENDED_TRAITS,
+    SPECINT_TRAITS,
+)
 from repro.workloads.generator import SyntheticProgramGenerator, generate_program
 from repro.workloads.specint import (
+    ALL_BENCHMARKS,
+    EXTENDED_BENCHMARKS,
     SPECINT_BENCHMARKS,
     build_benchmark,
     build_suite,
 )
 
 __all__ = [
+    "ALL_TRAITS",
     "BenchmarkTraits",
+    "EXTENDED_TRAITS",
     "SPECINT_TRAITS",
     "SyntheticProgramGenerator",
     "generate_program",
+    "ALL_BENCHMARKS",
+    "EXTENDED_BENCHMARKS",
     "SPECINT_BENCHMARKS",
     "build_benchmark",
     "build_suite",

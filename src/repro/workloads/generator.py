@@ -44,6 +44,8 @@ from repro.workloads.traits import BenchmarkTraits
 SCRATCH_REGS = [Reg(i) for i in range(1, 13)]
 LIBRARY_REGS = [Reg(i) for i in range(13, 16)]
 CHAIN_REGS = [Reg(i) for i in range(16, 22)]
+# FP dependence-chain accumulators (only used when traits.fp_fraction > 0).
+FP_CHAIN_REGS = [Reg(i, is_fp=True) for i in range(1, 7)]
 POINTER_A = Reg(22)
 POINTER_B = Reg(23)
 GLOBAL_BASE_A = Reg(24)
@@ -134,6 +136,7 @@ class SyntheticProgramGenerator:
         """Emit ``count`` data-processing instructions into ``block``."""
         traits = self.traits
         rng = self.rng
+        fp_threshold = traits.mem_fraction + traits.mul_fraction + traits.fp_fraction
         for _ in range(count):
             roll = rng.random()
             if traits.pointer_chase and roll < traits.mem_fraction * 0.7:
@@ -142,6 +145,8 @@ class SyntheticProgramGenerator:
                 self._emit_memory_op(block, ctx)
             elif roll < traits.mem_fraction + traits.mul_fraction:
                 self._emit_mul(block, ctx)
+            elif roll < fp_threshold:
+                self._emit_fp(block, ctx)
             else:
                 self._emit_alu(block, ctx)
 
@@ -154,6 +159,23 @@ class SyntheticProgramGenerator:
             block.append(Instruction.alu(opcode, chain, [chain], imm=rng.randint(1, 7)))
         else:
             other = rng.choice([reg for reg in ctx.chains if reg != chain])
+            block.append(Instruction.alu(opcode, chain, [chain, other]))
+
+    def _emit_fp(self, block: BasicBlock, ctx: _BodyContext) -> None:
+        """A floating-point chain step (FADD/FSUB/FMUL, rarely FDIV)."""
+        rng = self.rng
+        chain = rng.choice(FP_CHAIN_REGS)
+        roll = rng.random()
+        if roll < 0.05:
+            opcode = Opcode.FDIV
+        elif roll < 0.40:
+            opcode = Opcode.FMUL
+        else:
+            opcode = rng.choice((Opcode.FADD, Opcode.FSUB))
+        if rng.random() < 0.6:
+            block.append(Instruction.alu(opcode, chain, [chain], imm=rng.randint(1, 5)))
+        else:
+            other = rng.choice([reg for reg in FP_CHAIN_REGS if reg != chain])
             block.append(Instruction.alu(opcode, chain, [chain, other]))
 
     def _emit_mul(self, block: BasicBlock, ctx: _BodyContext) -> None:
@@ -177,11 +199,21 @@ class SyntheticProgramGenerator:
             block.append(Instruction.alu(Opcode.ADD, chain, [chain, dest]))
 
     def _emit_pointer_chase_step(self, block: BasicBlock, ctx: _BodyContext) -> None:
-        """A dependent-load step: p = base + (mem[p] << 5)."""
+        """A dependent-load step: p = base + ((mem[p] [+ counter]) << shift).
+
+        Without counter mixing the chase is a fixed function of the current
+        address, so it settles into a short cycle that fits in cache (the
+        mcf behaviour: serialised but not capacity bound).  Mixing the loop
+        counter in makes every iteration visit fresh lines, thrashing the
+        caches across the whole ``64K << chase_shift`` reach.
+        """
+        traits = self.traits
         loaded = SCRATCH_REGS[0]
         shifted = SCRATCH_REGS[1]
         block.append(Instruction.load(loaded, ctx.pointer, 0))
-        block.append(Instruction.alu(Opcode.SHL, shifted, [loaded], imm=5))
+        if traits.chase_mix_counter:
+            block.append(Instruction.alu(Opcode.ADD, loaded, [loaded, LOOP_COUNTER]))
+        block.append(Instruction.alu(Opcode.SHL, shifted, [loaded], imm=traits.chase_shift))
         block.append(Instruction.alu(Opcode.ADD, ctx.pointer, [shifted, GLOBAL_BASE_A]))
 
     def _emit_pointer_advance(self, block: BasicBlock, ctx: _BodyContext) -> None:
@@ -199,6 +231,13 @@ class SyntheticProgramGenerator:
             # Loop-counter derived: highly predictable.
             block.append(Instruction.alu(Opcode.AND, dest, [LOOP_COUNTER], imm=0x7))
             block.append(Instruction.alu(Opcode.CMP_EQ, dest, [dest], imm=0))
+        elif self.traits.hostile_branches:
+            # LCG derived: a pseudo-random bit no history predictor learns.
+            state = SCRATCH_REGS[2]
+            block.append(Instruction.alu(Opcode.MUL, state, [state], imm=1664525))
+            block.append(Instruction.alu(Opcode.ADD, state, [state], imm=1013904223))
+            block.append(Instruction.alu(Opcode.SHR, dest, [state], imm=13))
+            block.append(Instruction.alu(Opcode.AND, dest, [dest], imm=1))
         else:
             # Data derived: effectively random per address.
             scratch = SCRATCH_REGS[2]
@@ -220,6 +259,7 @@ class SyntheticProgramGenerator:
         chains = CHAIN_REGS[: max(1, traits.ilp_width)]
         for index, chain in enumerate(chains):
             entry.append(Instruction.load_imm(chain, index + 1))
+        self._seed_fp_chains(entry)
         ctx = _BodyContext(
             chains=list(chains),
             pointer=POINTER_A,
@@ -227,6 +267,12 @@ class SyntheticProgramGenerator:
             stride=self._stride_for_working_set(),
         )
         return entry, ctx
+
+    def _seed_fp_chains(self, entry: BasicBlock) -> None:
+        """Initialise the FP accumulators when the family uses FP work."""
+        if self.traits.fp_fraction > 0:
+            for index, chain in enumerate(FP_CHAIN_REGS):
+                entry.append(Instruction.load_imm(chain, index + 2))
 
     def _build_loop_kernel(self, name: str, leaf_names: list[str]) -> str:
         """A counted loop whose body mixes ALU, memory and (maybe) calls."""
@@ -302,6 +348,7 @@ class SyntheticProgramGenerator:
         chains = CHAIN_REGS[: max(1, traits.ilp_width)]
         for index, chain in enumerate(chains):
             entry.append(Instruction.load_imm(chain, index + 1))
+        self._seed_fp_chains(entry)
         ctx = _BodyContext(
             chains=list(chains),
             pointer=POINTER_A,

@@ -12,7 +12,7 @@ from functools import lru_cache
 
 from repro.isa.program import Program
 from repro.workloads.generator import generate_program
-from repro.workloads.traits import SPECINT_TRAITS
+from repro.workloads.traits import ALL_TRAITS, EXTENDED_TRAITS, SPECINT_TRAITS
 
 
 #: Benchmark names, in the order the paper's figures list them.
@@ -30,10 +30,17 @@ SPECINT_BENCHMARKS: tuple[str, ...] = (
     "twolf",
 )
 
+#: Extended scenario families beyond the paper's suite (see
+#: :data:`repro.workloads.traits.EXTENDED_TRAITS`).
+EXTENDED_BENCHMARKS: tuple[str, ...] = tuple(EXTENDED_TRAITS)
+
+#: Every benchmark the suite registry knows about.
+ALL_BENCHMARKS: tuple[str, ...] = SPECINT_BENCHMARKS + EXTENDED_BENCHMARKS
+
 
 @lru_cache(maxsize=None)
 def _cached_benchmark(name: str) -> Program:
-    traits = SPECINT_TRAITS[name]
+    traits = ALL_TRAITS[name]
     return generate_program(traits)
 
 
@@ -47,12 +54,12 @@ def build_benchmark(name: str, fresh: bool = False) -> Program:
             program (e.g. instrument it in place); the normal compile path
             copies before instrumenting, so the cache is safe to share.
     """
-    if name not in SPECINT_TRAITS:
+    if name not in ALL_TRAITS:
         raise KeyError(
-            f"unknown benchmark {name!r}; available: {', '.join(SPECINT_BENCHMARKS)}"
+            f"unknown benchmark {name!r}; available: {', '.join(ALL_BENCHMARKS)}"
         )
     if fresh:
-        return generate_program(SPECINT_TRAITS[name])
+        return generate_program(ALL_TRAITS[name])
     return _cached_benchmark(name)
 
 

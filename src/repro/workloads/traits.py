@@ -45,7 +45,22 @@ class BenchmarkTraits:
         mem_fraction: fraction of body instructions that access memory.
         store_fraction: fraction of memory instructions that are stores.
         mul_fraction: fraction of body instructions that are multiplies.
+        fp_fraction: fraction of body instructions that are floating-point
+            operations on the FP dependence chains (SPECint executes few,
+            so the eleven paper benchmarks leave this at zero; the extended
+            trait families use it to exercise the FP register file and the
+            FP functional units).
         pointer_chase: True for mcf-style dependent loads.
+        chase_shift: left shift applied to the loaded value in a pointer
+            chase step; it bounds the chase's address reach (the emulator
+            hashes uninitialised memory to 16 bits, so reach is
+            ``64K << chase_shift`` bytes).
+        chase_mix_counter: mix the loop counter into the chase address so
+            successive iterations visit fresh lines instead of settling
+            into a short cached cycle (the cache-thrashing families).
+        hostile_branches: derive data-dependent branch conditions from a
+            linear congruential generator instead of a memory load, making
+            them effectively unpredictable (the branch-hostile families).
         working_set_bytes: bytes touched by strided accesses (drives cache
             miss rates).
         predictable_branch_fraction: fraction of generated conditional
@@ -79,7 +94,11 @@ class BenchmarkTraits:
     mem_fraction: float = 0.25
     store_fraction: float = 0.3
     mul_fraction: float = 0.08
+    fp_fraction: float = 0.0
     pointer_chase: bool = False
+    chase_shift: int = 5
+    chase_mix_counter: bool = False
+    hostile_branches: bool = False
     working_set_bytes: int = 32 * 1024
     predictable_branch_fraction: float = 0.8
     branch_in_loop_prob: float = 0.4
@@ -295,3 +314,83 @@ SPECINT_TRAITS: dict[str, BenchmarkTraits] = {
         num_leaf_procs=2,
     ),
 }
+
+
+#: Extended scenario families beyond the paper's SPECint suite.  Each one
+#: stresses a mechanism the eleven paper benchmarks leave comparatively
+#: idle, widening the coverage of the resizing techniques:
+#:
+#: * ``fpstream`` -- FP-heavy numeric kernels: long-latency FADD/FMUL/FDIV
+#:   chains keep instructions in the queue for many cycles, and FP
+#:   destinations exercise the integer/FP split in the register-file event
+#:   accounting.
+#: * ``branchstorm`` -- branch-hostile control flow: mostly data-derived
+#:   (hard to predict) branches in small blocks, so the front end restarts
+#:   constantly and the queue drains on every mispredict shadow.
+#: * ``ptrthrash`` -- a cache-thrashing pointer chase: a working set far
+#:   beyond L2 with dependent loads, serialising issue behind memory and
+#:   making the machine almost insensitive to queue size (an mcf taken to
+#:   the extreme).
+EXTENDED_TRAITS: dict[str, BenchmarkTraits] = {
+    "fpstream": BenchmarkTraits(
+        name="fpstream",
+        seed=0xF9A7,
+        num_loop_kernels=4,
+        num_dag_kernels=1,
+        loop_body_size=(20, 36),
+        loop_trip_count=(24, 72),
+        ilp_width=4,
+        mem_fraction=0.18,
+        store_fraction=0.25,
+        mul_fraction=0.04,
+        fp_fraction=0.4,
+        working_set_bytes=96 * 1024,
+        predictable_branch_fraction=0.85,
+        branch_in_loop_prob=0.25,
+        num_leaf_procs=2,
+    ),
+    "branchstorm": BenchmarkTraits(
+        name="branchstorm",
+        seed=0xB5A2,
+        num_loop_kernels=3,
+        num_dag_kernels=4,
+        num_switch_kernels=2,
+        loop_body_size=(6, 14),
+        loop_trip_count=(12, 40),
+        dag_diamonds=(6, 10),
+        dag_block_size=(3, 8),
+        switch_fanout=10,
+        ilp_width=2,
+        mem_fraction=0.24,
+        mul_fraction=0.03,
+        working_set_bytes=64 * 1024,
+        predictable_branch_fraction=0.2,
+        branch_in_loop_prob=0.9,
+        hostile_branches=True,
+        num_leaf_procs=2,
+        leaf_size=(6, 12),
+    ),
+    "ptrthrash": BenchmarkTraits(
+        name="ptrthrash",
+        seed=0x9753,
+        num_loop_kernels=3,
+        num_dag_kernels=1,
+        loop_body_size=(8, 16),
+        loop_trip_count=(64, 160),
+        ilp_width=1,
+        mem_fraction=0.55,
+        store_fraction=0.15,
+        mul_fraction=0.02,
+        pointer_chase=True,
+        chase_shift=8,
+        chase_mix_counter=True,
+        working_set_bytes=16 * 1024 * 1024,
+        predictable_branch_fraction=0.65,
+        branch_in_loop_prob=0.4,
+        num_leaf_procs=1,
+    ),
+}
+
+
+#: Every known trait set: the paper's eleven plus the extended families.
+ALL_TRAITS: dict[str, BenchmarkTraits] = {**SPECINT_TRAITS, **EXTENDED_TRAITS}

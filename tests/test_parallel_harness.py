@@ -1,0 +1,142 @@
+"""Equivalence and caching tests for the parallel experiment engine.
+
+The contract: :class:`ParallelSuiteRunner` is a drop-in replacement for
+the serial :class:`SuiteRunner` — identical metrics for any worker count
+— and a warm on-disk cache eliminates simulation entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness import (
+    ParallelSuiteRunner,
+    RunConfig,
+    SimulationJob,
+    SuiteRunner,
+)
+from repro.harness.cache import (
+    ResultCache,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.uarch import SimulationStats
+
+
+#: A tiny grid that still crosses hardware-only and software techniques
+#: and includes an extended-family benchmark.
+TINY_CONFIG = RunConfig(
+    benchmarks=("gzip", "ptrthrash"),
+    max_instructions=2_500,
+    warmup_instructions=500,
+)
+TINY_TECHNIQUES = ("baseline", "abella", "noop")
+
+
+def _grid_metrics(runner) -> dict:
+    return {
+        (benchmark, technique): dataclasses.asdict(runner.metrics(benchmark, technique))
+        for benchmark in TINY_CONFIG.benchmarks
+        for technique in TINY_TECHNIQUES
+    }
+
+
+class TestSerialEquivalence:
+    def test_single_worker_reproduces_serial_metrics_exactly(self, suite_workers):
+        serial = SuiteRunner(TINY_CONFIG)
+        parallel = ParallelSuiteRunner(TINY_CONFIG, workers=suite_workers)
+        parallel.run_suite(techniques=TINY_TECHNIQUES)
+        assert _grid_metrics(parallel) == _grid_metrics(serial)
+
+    def test_lazy_result_path_matches_run_suite(self):
+        eager = ParallelSuiteRunner(TINY_CONFIG, workers=1)
+        eager.run_suite(techniques=TINY_TECHNIQUES)
+        lazy = ParallelSuiteRunner(TINY_CONFIG, workers=1)
+        assert _grid_metrics(lazy) == _grid_metrics(eager)
+
+    def test_software_results_keep_their_compilation(self):
+        runner = ParallelSuiteRunner(TINY_CONFIG, workers=1)
+        runner.run_suite(techniques=TINY_TECHNIQUES)
+        assert runner.result("gzip", "noop").compilation is not None
+        assert runner.result("gzip", "baseline").compilation is None
+
+
+class TestDiskCache:
+    def test_warm_cache_runs_zero_simulations(self, tmp_path):
+        cold = ParallelSuiteRunner(TINY_CONFIG, workers=1, cache_dir=str(tmp_path))
+        cold.run_suite(techniques=TINY_TECHNIQUES)
+        expected_cells = len(TINY_CONFIG.benchmarks) * len(TINY_TECHNIQUES)
+        assert cold.simulations_run == expected_cells
+
+        warm = ParallelSuiteRunner(TINY_CONFIG, workers=1, cache_dir=str(tmp_path))
+        warm.run_suite(techniques=TINY_TECHNIQUES)
+        assert warm.simulations_run == 0
+        assert warm.cache.hits == expected_cells
+        assert _grid_metrics(warm) == _grid_metrics(cold)
+
+    def test_changed_configuration_misses_the_cache(self, tmp_path):
+        base_job = SimulationJob("gzip", "baseline", TINY_CONFIG)
+        changed = dataclasses.replace(TINY_CONFIG, warmup_instructions=501)
+        changed_job = SimulationJob("gzip", "baseline", changed)
+        assert base_job.fingerprint() != changed_job.fingerprint()
+        # Same inputs, same key.
+        assert base_job.fingerprint() == SimulationJob(
+            "gzip", "baseline", TINY_CONFIG
+        ).fingerprint()
+
+    def test_different_techniques_use_different_keys(self):
+        keys = {
+            SimulationJob("gzip", technique, TINY_CONFIG).fingerprint()
+            for technique in TINY_TECHNIQUES
+        }
+        assert len(keys) == len(TINY_TECHNIQUES)
+
+    def test_cache_roundtrip_preserves_all_counters(self, tmp_path):
+        stats = SimulationStats(
+            cycles=123, committed_instructions=456, rf_writes=7, iq_cmp_gated=8
+        )
+        stats.extra["note"] = 1.5
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        cache.store(key, stats, benchmark="gzip", technique="baseline")
+        loaded = cache.load(key)
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(stats)
+        assert cache.stores == 1 and cache.hits == 1
+
+    def test_missing_entry_counts_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("b" * 64) is None
+        assert cache.misses == 1
+        assert len(cache) == 0
+
+    def test_orphaned_writer_temp_files_are_not_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("c" * 64, SimulationStats(cycles=1))
+        (tmp_path / ".tmp-orphan.json").write_text("{}")  # killed writer
+        assert len(cache) == 1
+
+
+class TestStatsSerialisation:
+    def test_roundtrip_identity(self):
+        stats = SimulationStats(cycles=42, iq_broadcasts=9)
+        assert dataclasses.asdict(stats_from_dict(stats_to_dict(stats))) == (
+            dataclasses.asdict(stats)
+        )
+
+    def test_unknown_fields_are_ignored(self):
+        payload = stats_to_dict(SimulationStats(cycles=1))
+        payload["counter_from_the_future"] = 99
+        assert stats_from_dict(payload).cycles == 1
+
+
+class TestWorkerValidation:
+    def test_rejects_nonpositive_worker_counts(self):
+        with pytest.raises(ValueError):
+            ParallelSuiteRunner(TINY_CONFIG, workers=0)
+
+    def test_env_default_is_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        runner = ParallelSuiteRunner(TINY_CONFIG)
+        assert runner.workers == 3

@@ -7,6 +7,9 @@ import pytest
 from repro.isa import Opcode
 from repro.uarch import FunctionalEmulator
 from repro.workloads import (
+    ALL_BENCHMARKS,
+    EXTENDED_BENCHMARKS,
+    EXTENDED_TRAITS,
     SPECINT_BENCHMARKS,
     SPECINT_TRAITS,
     build_benchmark,
@@ -125,3 +128,46 @@ class TestWorkloadExecution:
         program = generate_program(traits)
         trace = list(FunctionalEmulator(program).run(max_instructions=50_000))
         assert trace[-1].static.is_halt  # small program actually terminates
+
+
+class TestExtendedFamilies:
+    def test_registry_contains_both_suites(self):
+        assert set(ALL_BENCHMARKS) == set(SPECINT_BENCHMARKS) | set(EXTENDED_BENCHMARKS)
+        assert {"fpstream", "branchstorm", "ptrthrash"} <= set(EXTENDED_TRAITS)
+        # The paper's figure suite is untouched by the extensions.
+        assert len(SPECINT_BENCHMARKS) == 11
+        assert not set(SPECINT_BENCHMARKS) & set(EXTENDED_BENCHMARKS)
+
+    @pytest.mark.parametrize("name", sorted(EXTENDED_TRAITS))
+    def test_extended_programs_validate_and_run(self, name):
+        program = build_benchmark(name)
+        program.validate()
+        trace = list(FunctionalEmulator(program).run(max_instructions=2000))
+        assert len(trace) == 2000
+
+    def test_fpstream_executes_floating_point(self):
+        fp_opcodes = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}
+        trace = FunctionalEmulator(build_benchmark("fpstream")).run(max_instructions=3000)
+        fp_count = sum(1 for dyn in trace if dyn.static.opcode in fp_opcodes)
+        assert fp_count > 300  # fp_fraction=0.4 of generated body work
+
+    def test_branchstorm_is_branch_hostile(self):
+        from repro.techniques import BaselinePolicy
+        from repro.uarch import simulate
+
+        budget = dict(max_instructions=6000, warmup_instructions=1000)
+        storm = simulate(build_benchmark("branchstorm"), BaselinePolicy(), **budget)
+        calm = simulate(build_benchmark("gzip"), BaselinePolicy(), **budget)
+        assert storm.branch_mispredict_rate > 1.5 * calm.branch_mispredict_rate
+
+    def test_ptrthrash_thrashes_the_data_cache(self):
+        from repro.techniques import BaselinePolicy
+        from repro.uarch import simulate
+
+        budget = dict(max_instructions=6000, warmup_instructions=1000)
+        thrash = simulate(build_benchmark("ptrthrash"), BaselinePolicy(), **budget)
+        mcf = simulate(build_benchmark("mcf"), BaselinePolicy(), **budget)
+        # The counter-mixed chase defeats the short cached cycle mcf's
+        # fixed chase settles into, and serialised misses crush IPC.
+        assert thrash.l1d_miss_rate > 5 * mcf.l1d_miss_rate
+        assert thrash.ipc < mcf.ipc
