@@ -25,12 +25,60 @@ def report(title: str, figure) -> None:
     print(figure.to_text())
 
 
+def print_cache_stats(runner) -> None:
+    """Print the result-cache and trace-cache ``--cache-stats`` report."""
+    from repro.uarch.trace import trace_events
+
+    if runner.cache is not None:
+        stats = runner.cache.cache_stats()
+        cap = stats["max_entries"] if stats["max_entries"] is not None else "unbounded"
+        print(
+            f"result cache: {stats['entries']} entries "
+            f"({stats['total_bytes'] / 1024:.1f} KiB, cap {cap}) — "
+            f"{stats['hits']} hits / {stats['misses']} misses / "
+            f"{stats['stores']} stores / {stats['evictions']} evictions "
+            f"[{stats['directory']}]"
+        )
+    if runner.trace_cache is not None:
+        cache = runner.trace_cache
+        print(
+            f"trace cache: {len(cache)} traces — "
+            f"{cache.hits} hits / {cache.misses} misses / {cache.stores} stores "
+            f"[{cache.directory}]"
+        )
+    events = trace_events
+    print(
+        f"emulations this process: {events['emulations']} "
+        f"(memo hits {events['memo_hits']}, disk hits {events['disk_hits']})"
+    )
+    if runner.workers > 1:
+        # Pool workers run simulations in their own processes, so their
+        # trace-cache hit/miss/emulation counters never reach this one;
+        # only the on-disk trace count above is ground truth.  Re-run
+        # with --workers 1 for exact per-run traffic counters.
+        print(
+            f"(note: {runner.workers} workers — trace-cache traffic counters "
+            f"are per-process; run --workers 1 for exact counts)"
+        )
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--cache-dir",
         default=None,
         help="directory of cached simulation results (created if missing)",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="LRU size cap for the result cache (default: unbounded)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print result-cache and trace-cache size/traffic reports",
     )
     parser.add_argument("--workers", type=int, default=None, help="pool size")
     parser.add_argument("--max-instructions", type=int, default=16_000)
@@ -56,6 +104,7 @@ def main(argv: list[str] | None = None) -> None:
         RunConfig(**config_kwargs),
         workers=args.workers,
         cache_dir=args.cache_dir,
+        cache_max_entries=args.cache_max_entries,
     )
     runner.run_suite()
     if runner.cache is not None:
@@ -63,6 +112,8 @@ def main(argv: list[str] | None = None) -> None:
             f"cache: {runner.cache.hits} hits, {runner.simulations_run} simulated "
             f"({runner.cache.directory})"
         )
+    if args.cache_stats:
+        print_cache_stats(runner)
 
     report("Figure 6 - IPC loss, NOOP technique", figures.figure6(runner))
     report("Figure 7 - issue-queue occupancy", figures.figure7(runner))

@@ -3,49 +3,140 @@
 Records how many machine cycles the timing model simulates per wall-clock
 second on the gzip baseline run, so successive PRs have a performance
 trajectory for the per-cycle hot path (issue select, wakeup broadcast,
-dispatch, fetch).  The measured rate lands in ``extra_info`` of the
-pytest-benchmark JSON output as ``cycles_per_second``.
+dispatch, fetch).  Two rates are measured:
+
+* **cold** — a fresh in-process trace memo and an empty on-disk trace
+  cache, so the measured time includes one functional emulation, the
+  pre-decode into flat arrays, the cache store and the timed replay;
+* **warm** — the decoded trace already memoised, so the measured time is
+  the replay core alone (the steady state of a grid run).
 
 Reference points on the development machine (1-core container):
 
 * pre-optimisation seed: ~17.4k cycles/s
-* after the incremental ready-set + batched writeback + deque front end:
+* PR 1 (incremental ready-set + batched writeback + deque front end):
   ~24.7k cycles/s (1.42x)
+* PR 2 (trace pre-decode & replay, pre-compiled emulator specs, bitmask
+  rename free-list, event-driven sampling, pooled ROB/IQ entries):
+  ~58k cycles/s cold / ~69k cycles/s warm (2.3x / 2.8x over PR 1)
 
-The assertion below is a loose floor (well under half the seed rate) so
-the bench fails only on a catastrophic hot-path regression, not on
-machine noise.
+The assertion below is a loose floor (about half the measured cold rate)
+so the bench fails only on a genuine hot-path regression, not on machine
+noise.  Each run also appends both rates to ``BENCH_trace.json`` next to
+this file, giving later PRs a machine-readable perf history.
 """
 
 from __future__ import annotations
 
+import gc
+import json
 import time
+from pathlib import Path
 
 from repro.techniques import BaselinePolicy
 from repro.uarch import simulate
+from repro.uarch.trace import clear_trace_memo
 from repro.workloads import build_benchmark
 
 MAX_INSTRUCTIONS = 12_000
-MIN_CYCLES_PER_SECOND = 2_000.0
+#: ~50% of the cold rate measured for PR 2 (~58k cycles/s); comfortably
+#: above the PR 1 steady-state rate, so losing the replay speedup fails.
+MIN_CYCLES_PER_SECOND = 29_000.0
+#: PR 1 reference rate the ISSUE's 2x target is measured against.
+PR1_REFERENCE_CYCLES_PER_SECOND = 24_700.0
+
+TRAJECTORY_FILE = Path(__file__).with_name("BENCH_trace.json")
+TRAJECTORY_LIMIT = 200
 
 
-def _timed_run() -> tuple[int, float]:
+def _record_trajectory(entry: dict) -> None:
+    """Append ``entry`` to the BENCH_trace.json perf history (bounded)."""
+    history: list[dict] = []
+    try:
+        history = json.loads(TRAJECTORY_FILE.read_text(encoding="utf-8"))
+        if not isinstance(history, list):
+            history = []
+    except (FileNotFoundError, json.JSONDecodeError):
+        history = []
+    history.append(entry)
+    TRAJECTORY_FILE.write_text(
+        json.dumps(history[-TRAJECTORY_LIMIT:], indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def _timed_simulate(**kwargs) -> tuple[int, float]:
     program = build_benchmark("gzip")
-    start = time.perf_counter()
-    stats = simulate(program, BaselinePolicy(), max_instructions=MAX_INSTRUCTIONS)
-    elapsed = time.perf_counter() - start
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        stats = simulate(
+            program, BaselinePolicy(), max_instructions=MAX_INSTRUCTIONS, **kwargs
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
     return stats.cycles, elapsed
 
 
-def test_simulator_cycle_throughput(benchmark):
-    # Warm the generator/emulator caches so the bench isolates the core.
+def test_simulator_cycle_throughput(benchmark, tmp_path):
+    # Warm the generator and module state so the bench isolates the
+    # emulate+decode+replay pipeline, and spin the CPU up to steady state
+    # (the container throttles hard from idle).
     build_benchmark("gzip")
-    simulate(build_benchmark("gzip"), BaselinePolicy(), max_instructions=1_000)
+    for _ in range(2):
+        simulate(
+            build_benchmark("gzip"),
+            BaselinePolicy(),
+            max_instructions=MAX_INSTRUCTIONS,
+            live_emulation=True,
+        )
 
-    cycles, elapsed = benchmark.pedantic(_timed_run, rounds=3, iterations=1)
-    rate = cycles / elapsed
+    trace_dir = tmp_path / "trace-cache"
+    cold_rates: list[float] = []
+    cycles_holder: list[int] = []
+
+    def _cold_run() -> tuple[int, float]:
+        # A fresh memo and a fresh cache directory every round: the timed
+        # region covers emulation, pre-decode, the cache store and replay.
+        clear_trace_memo()
+        round_dir = trace_dir / str(len(cold_rates))
+        cycles, elapsed = _timed_simulate(trace_cache=str(round_dir))
+        cold_rates.append(cycles / elapsed)
+        cycles_holder.append(cycles)
+        return cycles, elapsed
+
+    benchmark.pedantic(_cold_run, rounds=5, iterations=1)
+    cycles = cycles_holder[-1]
+    cold_rate = max(cold_rates)
+
+    # Steady state: the decoded trace is memoised, only the core replays.
+    warm_rates = []
+    for _ in range(5):
+        warm_cycles, warm_elapsed = _timed_simulate()
+        warm_rates.append(warm_cycles / warm_elapsed)
+    warm_rate = max(warm_rates)
+
     benchmark.extra_info["cycles_simulated"] = cycles
-    benchmark.extra_info["cycles_per_second"] = round(rate)
-    print(f"\n  simulated {cycles} cycles at {rate:,.0f} cycles/second")
+    benchmark.extra_info["cycles_per_second"] = round(cold_rate)
+    benchmark.extra_info["cycles_per_second_warm"] = round(warm_rate)
+    benchmark.extra_info["speedup_vs_pr1_cold"] = round(
+        cold_rate / PR1_REFERENCE_CYCLES_PER_SECOND, 2
+    )
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "max_instructions": MAX_INSTRUCTIONS,
+            "cycles": cycles,
+            "cycles_per_second_cold": round(cold_rate),
+            "cycles_per_second_warm": round(warm_rate),
+        }
+    )
+    print(
+        f"\n  simulated {cycles} cycles at {cold_rate:,.0f}/s cold "
+        f"(trace cache+emulation) and {warm_rate:,.0f}/s warm (replay only); "
+        f"{cold_rate / PR1_REFERENCE_CYCLES_PER_SECOND:.2f}x the PR 1 reference"
+    )
     assert cycles > 0
-    assert rate > MIN_CYCLES_PER_SECOND
+    assert cold_rate > MIN_CYCLES_PER_SECOND
+    assert warm_rate > MIN_CYCLES_PER_SECOND

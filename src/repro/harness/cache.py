@@ -131,16 +131,30 @@ def stats_from_dict(payload: dict) -> SimulationStats:
 class ResultCache:
     """One-file-per-cell JSON cache of simulation statistics.
 
+    The cache can be bounded: with ``max_entries`` set, every store prunes
+    the least-recently-used cells down to the cap.  Recency is tracked
+    through file modification times — each hit re-touches its cell — so
+    the policy survives across processes sharing one directory and needs
+    no sidecar index.
+
     Attributes:
         directory: cache root (created on first store).
-        hits / misses / stores: lookup counters for tests and reports.
+        max_entries: size cap (None means unbounded, the default).
+        hits / misses / stores / evictions: counters for tests and the
+            ``--cache-stats`` report.
     """
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(
+        self, directory: str | os.PathLike, max_entries: Optional[int] = None
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be a positive integer or None")
         self.directory = Path(directory)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def path_for(self, fingerprint: str) -> Path:
         """Cache file holding the cell identified by ``fingerprint``."""
@@ -156,6 +170,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
         return stats_from_dict(payload["stats"])
 
     def store(
@@ -188,15 +206,59 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if self.max_entries is not None:
+            self._prune()
         return path
 
-    def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
+    def _entry_paths(self) -> list[Path]:
         # pathlib's glob matches dot-prefixed names, so exclude in-flight
         # (or orphaned) ``.tmp-*`` writer files explicitly.
-        return sum(
-            1
+        if not self.directory.is_dir():
+            return []
+        return [
+            path
             for path in self.directory.glob("*.json")
             if not path.name.startswith(".")
-        )
+        ]
+
+    def _prune(self) -> None:
+        """Evict least-recently-used cells beyond ``max_entries``."""
+        entries = []
+        for path in self._entry_paths():
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+                self.evictions += 1
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+
+    def cache_stats(self) -> dict:
+        """Size and traffic summary for reports (``--cache-stats``)."""
+        paths = self._entry_paths()
+        total_bytes = 0
+        for path in paths:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+        return {
+            "directory": str(self.directory),
+            "entries": len(paths),
+            "total_bytes": total_bytes,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())

@@ -41,6 +41,16 @@ Semantics:
 * **Compilations** are not cached on disk: they are cheap relative to
   simulation, required in-process anyway for table 2 and the
   per-result ``compilation`` field, and already memoised per runner.
+* **Decoded traces** are cached one level below the results: a
+  ``traces/`` subdirectory of ``cache_dir`` (override with
+  ``trace_cache_dir``) holds each benchmark's pre-decoded dynamic stream
+  (:mod:`repro.uarch.trace`), keyed by program content + budget +
+  emulator source.  A result-cache miss that only changed the technique
+  or the processor/energy configuration re-times the benchmark without
+  re-emulating it, in-process and across pool workers.
+* **Bounding** — pass ``cache_max_entries`` to cap the result cache;
+  stores prune least-recently-used cells (hits refresh recency via file
+  mtimes, so the bound holds across processes sharing the directory).
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.core import compile_program
@@ -61,17 +72,23 @@ from repro.harness.experiment import (
     make_policy,
 )
 from repro.power import build_power_report
-from repro.uarch import SimulationStats, simulate
+from repro.uarch import SimulationStats, TraceCache, simulate
 from repro.workloads import ALL_TRAITS, build_benchmark
 
 
 @dataclass
 class SimulationJob:
-    """Picklable description of one (benchmark, technique) simulation."""
+    """Picklable description of one (benchmark, technique) simulation.
+
+    ``trace_cache_dir`` names the shared on-disk decoded-trace cache (see
+    :mod:`repro.uarch.trace`); it is transport, not identity, so it does
+    not participate in :meth:`fingerprint`.
+    """
 
     benchmark: str
     technique: str
     config: RunConfig
+    trace_cache_dir: Optional[str] = None
 
     def fingerprint(self) -> str:
         """Content hash of the job's full input set (see :mod:`.cache`)."""
@@ -88,13 +105,16 @@ class SimulationJob:
         )
 
 
-def run_simulation_job(job: SimulationJob, program=None) -> dict:
+def run_simulation_job(job: SimulationJob, program=None, trace_cache=None) -> dict:
     """Execute one grid cell and return its statistics as a plain dict.
 
     Runs inside pool workers, so it takes and returns only picklable
     values; the dict form is also exactly what the disk cache stores.
     The in-process path passes ``program`` from the runner's compilation
-    memo so software-technique cells are not compiled twice.
+    memo so software-technique cells are not compiled twice, and
+    ``trace_cache`` (a live :class:`~repro.uarch.trace.TraceCache`) so
+    trace-cache hit counters aggregate on the runner; workers fall back
+    to ``job.trace_cache_dir``.
     """
     config = job.config
     policy = make_policy(job.technique, config)
@@ -112,6 +132,7 @@ def run_simulation_job(job: SimulationJob, program=None) -> dict:
         config=config.processor_config,
         max_instructions=config.max_instructions,
         warmup_instructions=config.warmup_instructions,
+        trace_cache=trace_cache if trace_cache is not None else job.trace_cache_dir,
     )
     return stats_to_dict(stats)
 
@@ -130,6 +151,8 @@ class ParallelSuiteRunner(SuiteRunner):
         config: Optional[RunConfig] = None,
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        cache_max_entries: Optional[int] = None,
+        trace_cache_dir: Optional[str] = None,
     ):
         super().__init__(config)
         if workers is None:
@@ -137,19 +160,41 @@ class ParallelSuiteRunner(SuiteRunner):
         if workers < 1:
             raise ValueError("workers must be a positive integer")
         self.workers = workers
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.cache = (
+            ResultCache(cache_dir, max_entries=cache_max_entries)
+            if cache_dir is not None
+            else None
+        )
+        # Decoded traces are shared one level below the result cache: a
+        # result-cache miss (new technique, changed processor/energy
+        # config) still reuses the benchmark's emulation if the trace
+        # cache holds it.  Defaults to a ``traces/`` subdirectory of the
+        # result cache so both travel together.
+        if trace_cache_dir is None and cache_dir is not None:
+            trace_cache_dir = str(Path(cache_dir) / "traces")
+        self.trace_cache_dir = trace_cache_dir
+        self.trace_cache = (
+            TraceCache(trace_cache_dir) if trace_cache_dir is not None else None
+        )
         self.simulations_run = 0
 
     # ------------------------------------------------------------------
+    def _job(self, benchmark: str, technique: str) -> SimulationJob:
+        return SimulationJob(
+            benchmark, technique, self.config, trace_cache_dir=self.trace_cache_dir
+        )
+
     def result(self, benchmark: str, technique: str) -> BenchmarkResult:
         """One cell, consulting memory first, then disk, then simulating."""
         key = (benchmark, technique)
         if key in self._results:
             return self._results[key]
-        job = SimulationJob(benchmark, technique, self.config)
+        job = self._job(benchmark, technique)
         stats = self._cached_stats(job)
         if stats is None:
-            stats = stats_from_dict(run_simulation_job(job, self._program_for(job)))
+            stats = stats_from_dict(
+                run_simulation_job(job, self._program_for(job), self.trace_cache)
+            )
             self.simulations_run += 1
             self._store(job, stats)
         result = self._build_result(job, stats)
@@ -179,7 +224,7 @@ class ParallelSuiteRunner(SuiteRunner):
         for benchmark, technique in grid:
             if (benchmark, technique) in self._results:
                 continue
-            job = SimulationJob(benchmark, technique, self.config)
+            job = self._job(benchmark, technique)
             cached = self._cached_stats(job)
             if cached is not None:
                 stats_by_key[(benchmark, technique)] = cached
@@ -189,7 +234,8 @@ class ParallelSuiteRunner(SuiteRunner):
         if pending:
             if self.workers == 1:
                 payloads = [
-                    run_simulation_job(job, self._program_for(job)) for job in pending
+                    run_simulation_job(job, self._program_for(job), self.trace_cache)
+                    for job in pending
                 ]
             else:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
@@ -203,7 +249,7 @@ class ParallelSuiteRunner(SuiteRunner):
         for benchmark, technique in grid:
             key = (benchmark, technique)
             if key not in self._results:
-                job = SimulationJob(benchmark, technique, self.config)
+                job = self._job(benchmark, technique)
                 self._results[key] = self._build_result(job, stats_by_key[key])
         return {key: self._results[key] for key in grid}
 

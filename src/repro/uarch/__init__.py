@@ -6,21 +6,48 @@ the paper, extended with the small issue-queue changes of section 3
 (``new_head`` pointer, ``max_new_range`` register, hint-NOOP stripping and
 instruction tags).
 
+Trace-replay architecture
+-------------------------
+
+Functional emulation is decoupled from the timing loop.  The committed
+dynamic instruction stream of a (program, instruction-budget) pair is a
+pure function of its inputs, so :mod:`repro.uarch.trace` runs the
+:class:`~repro.uarch.emulator.FunctionalEmulator` **once**, lowers the
+stream into a :class:`~repro.uarch.trace.DecodedTrace` — flat parallel
+arrays of pc, next-pc, branch outcome, memory address and pre-decoded
+timing attributes (classification flags, latency, functional-unit
+ordinal, rename operand specs) — and the
+:class:`~repro.uarch.core.OutOfOrderCore` *replays* those arrays by
+index.  Decoded traces are memoised in-process and may be cached on disk
+(:class:`~repro.uarch.trace.TraceCache`, content-addressed by program
+text + budget + emulator source digest), so a (benchmark × technique)
+grid emulates each benchmark once, not once per technique.
+
+To force live emulation (bypassing the memo and the disk cache) pass
+``live_emulation=True`` to :func:`~repro.uarch.core.simulate`, or set the
+``REPRO_LIVE_EMULATION`` environment variable; the result is statistically
+identical, just slower.  Feeding :class:`OutOfOrderCore` a plain iterable
+of :class:`~repro.uarch.emulator.DynamicInstruction` also still works —
+it is lowered into a ``DecodedTrace`` on construction.
+
 Main entry points:
 
 * :class:`~repro.uarch.config.ProcessorConfig` -- the machine description
   (``ProcessorConfig.hpca2005()`` is table 1).
 * :class:`~repro.uarch.emulator.FunctionalEmulator` -- architectural
   execution of an IR program, producing the committed instruction stream.
+* :class:`~repro.uarch.trace.DecodedTrace` / ``get_decoded_trace`` -- the
+  pre-decoded replay arrays and their memo/cache front door.
 * :class:`~repro.uarch.core.OutOfOrderCore` -- the timing model; pair it
   with a resizing policy from :mod:`repro.techniques` and run.
 * :func:`~repro.uarch.core.simulate` -- convenience wrapper that wires the
-  emulator, the core, a policy and the statistics together.
+  decoded trace, the core, a policy and the statistics together.
 """
 
 from repro.uarch.config import ProcessorConfig
 from repro.uarch.emulator import DynamicInstruction, EmulationLimitExceeded, FunctionalEmulator
 from repro.uarch.stats import SimulationStats
+from repro.uarch.trace import DecodedTrace, TraceCache, get_decoded_trace, trace_events
 from repro.uarch.core import OutOfOrderCore, simulate
 
 __all__ = [
@@ -29,6 +56,10 @@ __all__ = [
     "EmulationLimitExceeded",
     "FunctionalEmulator",
     "SimulationStats",
+    "DecodedTrace",
+    "TraceCache",
+    "get_decoded_trace",
+    "trace_events",
     "OutOfOrderCore",
     "simulate",
 ]

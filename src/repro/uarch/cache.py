@@ -20,25 +20,28 @@ class SetAssociativeCache:
         self.config = config
         self.num_sets = config.num_sets
         self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self._line_bytes = config.line_bytes
+        self._assoc = config.assoc
         self.accesses = 0
         self.misses = 0
 
     def _locate(self, address: int) -> tuple[int, int]:
-        line = address // self.config.line_bytes
+        line = address // self._line_bytes
         return line % self.num_sets, line
 
     def access(self, address: int) -> bool:
         """Access ``address``; return True on a hit and update LRU state."""
         self.accesses += 1
-        set_index, line = self._locate(address)
-        entry_set = self._sets[set_index]
+        line = address // self._line_bytes
+        entry_set = self._sets[line % self.num_sets]
         if line in entry_set:
-            entry_set.remove(line)
-            entry_set.insert(0, line)
+            if entry_set[0] != line:
+                entry_set.remove(line)
+                entry_set.insert(0, line)
             return True
         self.misses += 1
         entry_set.insert(0, line)
-        if len(entry_set) > self.config.assoc:
+        if len(entry_set) > self._assoc:
             entry_set.pop()
         return False
 
@@ -72,6 +75,13 @@ class MemoryHierarchy:
         self.l1i = SetAssociativeCache(config.l1i)
         self.l1d = SetAssociativeCache(config.l1d)
         self.l2 = SetAssociativeCache(config.l2)
+        # Precomputed latency tiers for the tuple-returning fast paths.
+        self._l1i_hit = config.l1i.hit_latency
+        self._l1i_l2 = config.l1i.hit_latency + config.l2.hit_latency
+        self._l1i_mem = self._l1i_l2 + config.l2_miss_latency
+        self._l1d_hit = config.l1d.hit_latency
+        self._l1d_l2 = config.l1d.hit_latency + config.l2.hit_latency
+        self._l1d_mem = self._l1d_l2 + config.l2_miss_latency
 
     def instruction_fetch(self, address: int) -> MemoryAccessResult:
         """Fetch the line containing ``address``; return its latency."""
@@ -80,6 +90,22 @@ class MemoryHierarchy:
     def data_access(self, address: int) -> MemoryAccessResult:
         """Load/store access to ``address``; return its latency."""
         return self._access(self.l1d, address)
+
+    def instruction_fetch_fast(self, address: int) -> tuple[int, bool, bool]:
+        """``(latency, l1_hit, l2_hit)`` without a result-object allocation."""
+        if self.l1i.access(address):
+            return (self._l1i_hit, True, True)
+        if self.l2.access(address):
+            return (self._l1i_l2, False, True)
+        return (self._l1i_mem, False, False)
+
+    def data_access_fast(self, address: int) -> tuple[int, bool, bool]:
+        """``(latency, l1_hit, l2_hit)`` without a result-object allocation."""
+        if self.l1d.access(address):
+            return (self._l1d_hit, True, True)
+        if self.l2.access(address):
+            return (self._l1d_l2, False, True)
+        return (self._l1d_mem, False, False)
 
     def _access(self, l1: SetAssociativeCache, address: int) -> MemoryAccessResult:
         if l1.access(address):

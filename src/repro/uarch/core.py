@@ -6,6 +6,16 @@ this core times it through fetch, decode, rename/dispatch, issue, execute,
 writeback and commit, modelling the issue queue, reorder buffer, physical
 register files, functional units, caches and branch prediction.
 
+The core is a **replay engine**: it consumes a
+:class:`~repro.uarch.trace.DecodedTrace` — the committed stream lowered
+into flat, pre-decoded arrays — and walks it by index.  Functional
+emulation happens exactly once per (program, budget) in
+:mod:`repro.uarch.trace` (memoised in-process and optionally cached on
+disk), so the per-cycle hot path performs no interpreter dispatch, no
+``DynamicInstruction`` attribute chains and no per-instruction object
+allocation.  Passing a plain iterable of ``DynamicInstruction`` still
+works: it is lowered into a ``DecodedTrace`` on construction.
+
 Deviation from an execute-driven simulator (documented in DESIGN.md): the
 wrong path after a branch misprediction is not fetched; instead the front
 end stalls until the mispredicted branch resolves and then pays a redirect
@@ -13,40 +23,62 @@ penalty.  All quantities the paper reports (IPC deltas, queue occupancy,
 wakeup activity, bank usage, register lifetime) are preserved by this
 simplification because wrong-path instructions never commit and the stall
 time equals the resolution delay either way.
+
+Statistics whose per-cycle sums feed time averages (queue occupancy,
+waiting operands, enabled banks, live registers, in-flight count) are
+accumulated **event-driven**: the six sampled quantities only change when
+a pipeline stage dispatches, issues, writes back or commits, so the core
+folds ``value × elapsed_cycles`` into the sums at those boundaries (and
+once at the end of the run) instead of re-reading every structure every
+cycle.  End-of-run statistics are identical to per-cycle sampling.
+
+Maintenance note: the stage loops hand-inline the bodies of
+``BankedIssueQueue.allocate/remove/broadcast/can_dispatch``,
+``PhysicalRegisterFile.allocate/release``, ``ReorderBuffer.allocate`` /
+``pop_completed`` and ``FunctionalUnitPool.try_acquire_index`` (each
+marked with an ``# Inlined ...`` comment).  A semantic change to any of
+those component methods must be mirrored here — the equivalence tests in
+``tests/test_trace_replay.py`` compare replay paths against each other,
+not against the object-based component API.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Optional, Union
 
-from repro.isa.opcodes import FuClass, Opcode
+from repro.techniques.base import ResizingPolicy
 from repro.uarch.branch import HybridBranchPredictor
 from repro.uarch.cache import MemoryHierarchy
 from repro.uarch.config import ProcessorConfig
-from repro.uarch.emulator import DynamicInstruction, FunctionalEmulator
+from repro.uarch.emulator import DynamicInstruction
 from repro.uarch.functional_units import FunctionalUnitPool
 from repro.uarch.issue_queue import BankedIssueQueue, IssueQueueEntry
 from repro.uarch.regfile import RenameUnit
-from repro.uarch.rob import ReorderBuffer, RobEntry
+from repro.uarch.rob import COMPLETED, DISPATCHED, ISSUED, ReorderBuffer, RobEntry
 from repro.uarch.stats import SimulationStats
-
-
-@dataclass
-class _FetchQueueEntry:
-    """An instruction sitting in the fetch/decode queue."""
-
-    dyn: DynamicInstruction
-    decode_ready_cycle: int
+from repro.uarch.trace import (
+    DecodedTrace,
+    F_BRANCH,
+    F_CALL,
+    F_CONTROL,
+    F_HINT,
+    F_LOAD,
+    F_NOP,
+    F_RET,
+    F_STORE,
+    TraceCache,
+    get_decoded_trace,
+)
 
 
 class OutOfOrderCore:
-    """Cycle-level timing model driven by a dynamic instruction stream."""
+    """Cycle-level timing model replaying a pre-decoded dynamic stream."""
 
     def __init__(
         self,
-        trace: Iterable[DynamicInstruction],
+        trace: Union[DecodedTrace, Iterable[DynamicInstruction]],
         config: Optional[ProcessorConfig] = None,
         policy=None,
         warmup_instructions: int = 0,
@@ -62,7 +94,10 @@ class OutOfOrderCore:
         self.warmup_instructions = warmup_instructions
         self.max_cycles = max_cycles
 
-        self._trace: Iterator[DynamicInstruction] = iter(trace)
+        if not isinstance(trace, DecodedTrace):
+            trace = DecodedTrace.from_dynamic_stream(trace)
+        self._trace = trace
+        self._trace_pos = 0
         self._trace_exhausted = False
 
         cfg = self.config
@@ -80,8 +115,9 @@ class OutOfOrderCore:
         self._tag_ready = bytearray([1] * total_tags)
 
         self.cycle = 0
-        self._fetch_queue: deque[_FetchQueueEntry] = deque()
-        self._completion_events: dict[int, list[RobEntry]] = {}
+        # Fetch/decode queue of (trace index, decode-ready cycle) pairs.
+        self._fetch_queue: deque[tuple[int, int]] = deque()
+        self._completion_events: dict[int, list] = {}
         self._iq_entry_by_rob: dict[int, IssueQueueEntry] = {}
 
         # Front-end stall state.
@@ -92,6 +128,21 @@ class OutOfOrderCore:
         self._warmup_done = warmup_instructions == 0
         self._committed_total = 0
 
+        # Event-driven sampling state: the snapshot of the six sampled
+        # quantities, the cycle it was taken at, and whether any stage
+        # has invalidated it this cycle.
+        self._sample_snapshot = (0, 0, 0, 0, 0, 0)
+        self._sample_anchor = 0
+        self._sample_dirty = True
+
+        # ``on_cycle_end`` is pure overhead for policies that don't
+        # override it (baseline, nonempty, software); skip the call.
+        self._on_cycle_end = (
+            None
+            if type(policy).on_cycle_end is ResizingPolicy.on_cycle_end
+            else policy.on_cycle_end
+        )
+
         self.policy.on_simulation_start(self)
 
     # ------------------------------------------------------------------
@@ -100,22 +151,28 @@ class OutOfOrderCore:
     def run(self) -> SimulationStats:
         """Simulate until the trace drains (or ``max_cycles`` is hit)."""
         safety_limit = self.max_cycles
+        step = self.step
         while not self._finished():
-            self.step()
+            step()
             if safety_limit is not None and self.cycle >= safety_limit:
                 break
+        self._finalize_sample()
         return self.stats
 
     def step(self) -> None:
         """Advance the machine by one cycle (back-to-front stage order)."""
-        self.fus.new_cycle()
+        fus = self.fus
+        fus._used[:] = fus._zeros  # inlined FunctionalUnitPool.new_cycle
         self._commit()
         self._writeback()
         self._issue()
         self._dispatch()
         self._fetch()
-        self._sample()
-        self.policy.on_cycle_end(self)
+        if self._warmup_done and self._sample_dirty:
+            self._flush_sample()
+        on_cycle_end = self._on_cycle_end
+        if on_cycle_end is not None:
+            on_cycle_end(self)
         self.cycle += 1
         self.stats.cycles = self.cycle if self._warmup_done else 0
 
@@ -124,28 +181,64 @@ class OutOfOrderCore:
         return (
             self._trace_exhausted
             and not self._fetch_queue
-            and self.rob.is_empty
+            and self.rob.count == 0
         )
 
     # ------------------------------------------------------------------
     # Commit
     # ------------------------------------------------------------------
     def _commit(self) -> None:
+        # Inlined ReorderBuffer.pop_completed: this loop runs every cycle
+        # and retires up to commit_width instructions.
+        rob = self.rob
+        count = rob.count
+        if count == 0:
+            return
+        entries = rob.entries
+        head = rob.head
+        entry = entries[head]
+        if entry is None or entry.state != COMPLETED:
+            return
+        capacity = rob.capacity
+        rename = self.rename
+        int_file = rename.int_file
+        fp_file = rename.fp_file
+        fp_offset = int_file.num_physical
+        int_bank_size = int_file.bank_size
+        int_bank_counts = int_file.bank_counts
         committed = 0
-        while committed < self.config.commit_width:
-            entry = self.rob.commit_ready()
-            if entry is None:
-                break
-            self.rob.commit()
+        width = self.config.commit_width
+        while True:
+            head = (head + 1) % capacity
+            count -= 1
             for tag in entry.freed_on_commit:
-                self.rename.release(tag)
+                # Inlined RenameUnit.release (integer registers dominate).
+                if tag >= fp_offset:
+                    fp_file.release(tag - fp_offset)
+                else:
+                    int_file._free_mask |= 1 << tag
+                    int_file.allocated -= 1
+                    int_file.free_count += 1
+                    bank = tag // int_bank_size
+                    int_bank_counts[bank] -= 1
+                    if int_bank_counts[bank] == 0:
+                        int_file.active_banks -= 1
             committed += 1
             self._committed_total += 1
             if self._warmup_done:
-                self.stats.committed_instructions += 1
-                self.stats.committed_micro_ops += 1
+                stats = self.stats
+                stats.committed_instructions += 1
+                stats.committed_micro_ops += 1
             elif self._committed_total >= self.warmup_instructions:
                 self._end_warmup()
+            if committed >= width or count == 0:
+                break
+            entry = entries[head]
+            if entry is None or entry.state != COMPLETED:
+                break
+        rob.head = head
+        rob.count = count
+        self._sample_dirty = True
 
     def _end_warmup(self) -> None:
         """Reset measurement counters at the end of the warm-up period.
@@ -167,6 +260,8 @@ class OutOfOrderCore:
         self.stats = preserved
         shift = self.cycle
         self.cycle = 0
+        self._sample_anchor = 0
+        self._sample_dirty = True
         if shift:
             self._completion_events = {
                 cycle - shift: entries
@@ -174,8 +269,9 @@ class OutOfOrderCore:
             }
             for iq_entry in self._iq_entry_by_rob.values():
                 iq_entry.ready_cycle -= shift
-            for fetch_entry in self._fetch_queue:
-                fetch_entry.decode_ready_cycle -= shift
+            self._fetch_queue = deque(
+                (index, ready - shift) for index, ready in self._fetch_queue
+            )
             self._fetch_resume_cycle -= shift
         self.policy.on_measurement_start(self, shift)
 
@@ -187,13 +283,20 @@ class OutOfOrderCore:
         if not finishing:
             return
         iq = self.iq
+        iq_slots = iq.slots
+        iq_consumers = iq._consumers
+        iq_ready_by_age = iq._ready_by_age
         tag_ready = self._tag_ready
         int_phys = self.config.int_phys_regs
+        blocked_seq = self._fetch_blocked_on_seq
+        cycle = self.cycle
         broadcasts = 0
         cmp_gated = 0
         rf_writes = 0
         for entry in finishing:
-            self.rob.mark_completed(entry, self.cycle)
+            # Inlined ReorderBuffer.mark_completed.
+            entry.state = COMPLETED
+            entry.completion_cycle = cycle
             for tag in entry.dest_tags:
                 if tag < int_phys:
                     rf_writes += 1
@@ -203,21 +306,28 @@ class OutOfOrderCore:
                 # operands at the instant of this broadcast, so it must be
                 # sampled before each wakeup, not once per writeback group.
                 cmp_gated += iq.waiting_operand_count
-                iq.broadcast(tag)
+                # Inlined BankedIssueQueue.broadcast.
+                consumers = iq_consumers.pop(tag, None)
+                if consumers:
+                    for waiter in consumers:
+                        waiting = waiter.waiting_tags
+                        if iq_slots[waiter.slot] is waiter and tag in waiting:
+                            waiting.discard(tag)
+                            iq.waiting_operand_count -= 1
+                            if not waiting:
+                                iq_ready_by_age[waiter.age] = waiter
             # Resolve a front-end block if this was the mispredicted branch.
-            if (
-                self._fetch_blocked_on_seq is not None
-                and entry.dyn is not None
-                and entry.dyn.seq == self._fetch_blocked_on_seq
-            ):
+            if blocked_seq is not None and entry.dyn == blocked_seq:
+                blocked_seq = None
                 self._fetch_blocked_on_seq = None
                 # An I-miss on the blocked line may already hold fetch past
                 # the redirect: the front end resumes at the later of the
                 # two, never earlier.
                 self._fetch_resume_cycle = max(
                     self._fetch_resume_cycle,
-                    self.cycle + self.config.branch_mispredict_penalty,
+                    cycle + self.config.branch_mispredict_penalty,
                 )
+        self._sample_dirty = True
         if self._warmup_done and broadcasts:
             self.rename.int_file.record_writes(rf_writes)
             stats = self.stats
@@ -230,60 +340,108 @@ class OutOfOrderCore:
     # Issue / execute
     # ------------------------------------------------------------------
     def _issue(self) -> None:
-        ready = self.iq.ready_entries_in_age_order()
-        if not ready:
+        ready_map = self.iq._ready_by_age
+        if not ready_map:
             return
         issued = 0
         cycle = self.cycle
         width = self.config.issue_width
         int_phys = self.config.int_phys_regs
         fus = self.fus
+        fu_used = fus._used
+        fu_limits = fus._limits
+        fu_issues = fus._issues
+        fu_stalls = 0
+        iq = self.iq
+        iq_slots = iq.slots
+        iq_bank_size = iq.bank_size
+        iq_bank_counts = iq.bank_counts
+        iq_advance = iq._advance_pointers
+        iq_entry_by_rob = self._iq_entry_by_rob
         rob_entries = self.rob.entries
         completion_events = self._completion_events
+        trace = self._trace
+        flags_arr = trace.flags
+        lat_arr = trace.latency
         rf_reads = 0
-        for entry in ready:
+        for age in sorted(ready_map):
             if issued >= width:
                 break
+            entry = ready_map[age]
             if entry.ready_cycle > cycle:
                 continue
-            if not fus.try_acquire(entry.fu_class):
+            # Inlined FunctionalUnitPool.try_acquire_index (hot: once per
+            # ready entry per cycle).
+            fu = entry.fu_class
+            used = fu_used[fu]
+            if used >= fu_limits[fu]:
+                fu_stalls += 1
                 continue
-            rob_entry = rob_entries[entry.rob_index]
-            self.iq.remove(entry)
-            del self._iq_entry_by_rob[entry.rob_index]
-            self.rob.mark_issued(rob_entry)
+            fu_used[fu] = used + 1
+            fu_issues[fu] += 1
+            rob_index = entry.rob_index
+            rob_entry = rob_entries[rob_index]
+            # Inlined BankedIssueQueue.remove: the entry is ready, so it
+            # holds no waiting operands to deduct.
+            slot = entry.slot
+            iq_slots[slot] = None
+            iq.count -= 1
+            bank = slot // iq_bank_size
+            iq_bank_counts[bank] -= 1
+            if iq_bank_counts[bank] == 0:
+                iq.active_banks -= 1
+            del ready_map[age]
+            # Pointer advance is only needed when the removal opened a
+            # hole at ``head`` or ``new_head``.
+            if iq_slots[iq.head] is None or iq_slots[iq.new_head] is None:
+                iq_advance()
+            del iq_entry_by_rob[rob_index]
+            rob_entry.state = ISSUED
             issued += 1
             for tag in rob_entry.source_tags:
                 if tag < int_phys:
                     rf_reads += 1
-            latency = self._execution_latency(rob_entry.dyn)
+            index = rob_entry.dyn
+            flags = flags_arr[index]
+            if flags & (F_LOAD | F_STORE):
+                latency = self._memory_latency(index, flags, lat_arr[index])
+            else:
+                latency = lat_arr[index]
             finish = cycle + (latency if latency > 1 else 1)
-            completion_events.setdefault(finish, []).append(rob_entry)
-        if issued and self._warmup_done:
-            self.rename.int_file.record_reads(rf_reads)
-            stats = self.stats
-            stats.issued_instructions += issued
-            stats.iq_issue_reads += issued
-            stats.rf_reads += rf_reads
+            events = completion_events.get(finish)
+            if events is None:
+                completion_events[finish] = [rob_entry]
+            else:
+                events.append(rob_entry)
+        if fu_stalls:
+            fus.structural_stalls += fu_stalls
+        if issued:
+            self._sample_dirty = True
+            if self._warmup_done:
+                self.rename.int_file.record_reads(rf_reads)
+                stats = self.stats
+                stats.issued_instructions += issued
+                stats.iq_issue_reads += issued
+                stats.rf_reads += rf_reads
 
-    def _execution_latency(self, dyn: DynamicInstruction) -> int:
-        instr = dyn.static
-        if instr.is_load:
-            result = self.memory.data_access(dyn.mem_address or 0)
+    def _memory_latency(self, index: int, flags: int, base_latency: int) -> int:
+        """Data-cache access latency for the load/store at ``index``."""
+        latency, l1_hit, l2_hit = self.memory.data_access_fast(
+            self._trace.mem_addr[index]
+        )
+        if flags & F_LOAD:
             if self._warmup_done:
-                self.stats.l1d_accesses += 1
-                if not result.l1_hit:
-                    self.stats.l1d_misses += 1
-                self.stats.l2_accesses += 0 if result.l1_hit else 1
-                if not result.l2_hit:
-                    self.stats.l2_misses += 1
-            return instr.latency + result.latency
-        if instr.is_store:
-            self.memory.data_access(dyn.mem_address or 0)
-            if self._warmup_done:
-                self.stats.l1d_accesses += 1
-            return instr.latency
-        return instr.latency
+                stats = self.stats
+                stats.l1d_accesses += 1
+                if not l1_hit:
+                    stats.l1d_misses += 1
+                    stats.l2_accesses += 1
+                if not l2_hit:
+                    stats.l2_misses += 1
+            return base_latency + latency
+        if self._warmup_done:
+            self.stats.l1d_accesses += 1
+        return base_latency
 
     # ------------------------------------------------------------------
     # Dispatch (rename + issue-queue/ROB allocation)
@@ -292,81 +450,218 @@ class OutOfOrderCore:
         fetch_queue = self._fetch_queue
         if not fetch_queue:
             return
+        cycle = self.cycle
+        if fetch_queue[0][1] > cycle:
+            return
+        trace = self._trace
+        flags_arr = trace.flags
+        fu_arr = trace.fu_idx
+        specs = trace.rename_specs
+        iq_tags = trace.iq_tag
         dispatched = 0
         stalled_on_region = False
         stalled_on_physical = False
-        cycle = self.cycle
         width = self.config.dispatch_width
         policy = self.policy
         uses_hints = policy.uses_hints
         tag_ready = self._tag_ready
         stats = self.stats if self._warmup_done else None
+        rename = self.rename
+        int_file = rename.int_file
+        fp_file = rename.fp_file
+        int_map = int_file.rename_map
+        fp_allocate = fp_file.allocate
+        fp_offset = int_file.num_physical
+        rf_bank_size = int_file.bank_size
+        rf_bank_counts = int_file.bank_counts
+        rob = self.rob
+        rob_limit = rob.limit
+        rob_effective = rob.capacity if rob_limit is None else rob_limit
+        rob_entries = rob.entries
+        rob_capacity = rob.capacity
+        iq = self.iq
+        iq_capacity = iq.capacity
+        iq_slots = iq.slots
+        iq_pool = iq._pool
+        iq_bank_size = iq.bank_size
+        iq_bank_counts = iq.bank_counts
+        iq_consumers = iq._consumers
+        iq_ready_by_age = iq._ready_by_age
+        iq_entry_by_rob = self._iq_entry_by_rob
+        ready_cycle = cycle + 1
+        # Structure counters touched once per dispatched instruction are
+        # kept in locals and written back after the loop; policy hooks
+        # (``on_hint``) only read ``iq.tail``, which is kept in sync just
+        # before each hook call.
+        rob_count = rob.count
+        rob_tail = rob.tail
+        iq_count = iq.count
+        iq_span = iq.span
+        iq_tail = iq.tail
+        iq_age = iq._next_age
+        int_free_mask = int_file._free_mask
+        int_free_count = int_file.free_count
+        int_allocated = int_file.allocated
         while dispatched < width and fetch_queue:
-            head = fetch_queue[0]
-            if head.decode_ready_cycle > cycle:
+            index, decode_ready = fetch_queue[0]
+            if decode_ready > cycle:
                 break
-            instr = head.dyn.static
+            flags = flags_arr[index]
 
             # The paper's special NOOP: stripped in the last decode stage.
             # It consumes a dispatch slot (the source of the NOOP scheme's
             # small IPC cost) but never reaches the issue queue.
-            if instr.is_hint:
-                if uses_hints:
-                    policy.on_hint(self, instr.hint_value)
-                fetch_queue.popleft()
-                dispatched += 1
-                if stats is not None:
-                    stats.hint_noops_stripped += 1
-                continue
-            if instr.opcode is Opcode.NOP:
+            if flags & (F_HINT | F_NOP):
+                if flags & F_HINT:
+                    if uses_hints:
+                        iq.tail = iq_tail
+                        policy.on_hint(
+                            self,
+                            trace.statics[trace.static_idx[index]].hint_value,
+                        )
+                    if stats is not None:
+                        stats.hint_noops_stripped += 1
                 fetch_queue.popleft()
                 dispatched += 1
                 continue
 
             # Tag-carried hints (Extension/Improved) cost no dispatch slot.
-            if uses_hints and instr.iq_tag is not None:
-                policy.on_hint(self, instr.iq_tag)
-                if stats is not None:
-                    stats.tagged_instructions_seen += 1
-                # Policy hooks may toggle warm-up-independent state only, so
-                # the cached stats reference stays valid across the call.
+            if uses_hints:
+                tag_value = iq_tags[index]
+                if tag_value is not None:
+                    iq.tail = iq_tail
+                    policy.on_hint(self, tag_value)
+                    if stats is not None:
+                        stats.tagged_instructions_seen += 1
+                    # Policy hooks may toggle warm-up-independent state
+                    # only, so the cached stats reference stays valid
+                    # across the call.
 
-            if not self.rob.can_allocate():
+            if rob_count >= rob_effective:
                 break
-            if not self.rename.can_rename(instr):
+            int_srcs, fp_srcs, int_dests, fp_dests = specs[index]
+            if int_free_count < len(int_dests) or (
+                fp_dests and fp_file.free_count < len(fp_dests)
+            ):
                 break
-            ok, reason = self.iq.can_dispatch()
-            if not ok:
-                if reason in ("region_limit", "global_limit"):
-                    stalled_on_region = True
-                else:
-                    stalled_on_physical = True
+            # Inlined BankedIssueQueue.can_dispatch (hot: once per
+            # dispatched instruction).
+            if iq_span >= iq_capacity:
+                stalled_on_physical = True
+                break
+            global_limit = iq.global_limit
+            if global_limit is not None and iq_span >= global_limit:
+                stalled_on_region = True
+                break
+            max_new_range = iq.max_new_range
+            if (
+                max_new_range is not None
+                and iq_span
+                and (iq_tail - iq.new_head) % iq_capacity >= max_new_range
+            ):
+                stalled_on_region = True
                 break
 
             fetch_queue.popleft()
-            renamed = self.rename.rename(instr)
-            for tag in renamed.dest_tags:
-                tag_ready[tag] = 0
+            if fp_srcs:
+                fp_map = fp_file.rename_map
+                source_tags = [int_map[arch] for arch in int_srcs] + [
+                    fp_map[arch] + fp_offset for arch in fp_srcs
+                ]
+            else:
+                source_tags = [int_map[arch] for arch in int_srcs]
+            dest_tags = []
+            freed = []
+            for arch in int_dests:
+                # Inlined PhysicalRegisterFile.allocate: the free_count
+                # check above guarantees the mask is non-empty.
+                lowest = int_free_mask & -int_free_mask
+                int_free_mask ^= lowest
+                new_phys = lowest.bit_length() - 1
+                previous = int_map[arch]
+                int_map[arch] = new_phys
+                int_allocated += 1
+                int_free_count -= 1
+                bank = new_phys // rf_bank_size
+                if rf_bank_counts[bank] == 0:
+                    int_file.active_banks += 1
+                rf_bank_counts[bank] += 1
+                dest_tags.append(new_phys)
+                freed.append(previous)
+                tag_ready[new_phys] = 0
+            for arch in fp_dests:
+                new_phys, previous = fp_allocate(arch)
+                dest_tags.append(new_phys + fp_offset)
+                freed.append(previous + fp_offset)
+                tag_ready[new_phys + fp_offset] = 0
 
-            rob_entry = self.rob.allocate(head.dyn)
-            rob_entry.dest_tags = renamed.dest_tags
-            rob_entry.freed_on_commit = renamed.freed_on_commit
-            rob_entry.source_tags = renamed.source_tags
+            # Inlined ReorderBuffer.allocate (pooled entries; the checks
+            # above already guaranteed space).
+            rob_entry = rob_entries[rob_tail]
+            if rob_entry is None:
+                rob_entry = RobEntry(index=rob_tail)
+                rob_entries[rob_tail] = rob_entry
+            rob_index = rob_tail
+            rob_entry.dyn = index
+            rob_entry.state = DISPATCHED
+            rob_entry.completion_cycle = 0
+            rob_entry.dest_tags = dest_tags
+            rob_entry.freed_on_commit = freed
+            rob_entry.source_tags = source_tags
+            rob_tail = (rob_tail + 1) % rob_capacity
+            rob_count += 1
 
-            waiting = {tag for tag in renamed.source_tags if not tag_ready[tag]}
-            iq_entry = self.iq.allocate(
-                rob_index=rob_entry.index,
-                waiting_tags=waiting,
-                num_source_operands=len(renamed.source_tags),
-                fu_class=instr.fu_class,
-                ready_cycle=cycle + 1,
-            )
-            self._iq_entry_by_rob[rob_entry.index] = iq_entry
+            # Inlined BankedIssueQueue.allocate (pooled entries; dispatch
+            # admission was checked above).
+            waiting = {tag for tag in source_tags if not tag_ready[tag]}
+            slot = iq_tail
+            iq_entry = iq_pool[slot]
+            if iq_entry is None:
+                iq_entry = IssueQueueEntry(rob_index=rob_index, slot=slot)
+                iq_pool[slot] = iq_entry
+            iq_entry.rob_index = rob_index
+            iq_entry.waiting_tags = waiting
+            iq_entry.num_source_operands = len(source_tags)
+            iq_entry.fu_class = fu_arr[index]
+            iq_entry.ready_cycle = ready_cycle
+            iq_entry.age = iq_age
+            iq_slots[slot] = iq_entry
+            iq_tail = (slot + 1) % iq_capacity
+            iq_count += 1
+            iq_span += 1
+            bank = slot // iq_bank_size
+            if iq_bank_counts[bank] == 0:
+                iq.active_banks += 1
+            iq_bank_counts[bank] += 1
+            if waiting:
+                iq.waiting_operand_count += len(waiting)
+                for tag in waiting:
+                    existing = iq_consumers.get(tag)
+                    if existing is None:
+                        iq_consumers[tag] = [iq_entry]
+                    else:
+                        existing.append(iq_entry)
+            else:
+                iq_ready_by_age[iq_age] = iq_entry
+            iq_age += 1
+
+            iq_entry_by_rob[rob_index] = iq_entry
             dispatched += 1
             if stats is not None:
                 stats.dispatched_instructions += 1
                 stats.iq_dispatch_writes += 1
 
+        rob.count = rob_count
+        rob.tail = rob_tail
+        iq.count = iq_count
+        iq.span = iq_span
+        iq.tail = iq_tail
+        iq._next_age = iq_age
+        int_file._free_mask = int_free_mask
+        int_file.free_count = int_free_count
+        int_file.allocated = int_allocated
+        if dispatched:
+            self._sample_dirty = True
         if stats is not None:
             if stalled_on_region:
                 stats.iq_dispatch_stall_cycles += 1
@@ -381,99 +676,147 @@ class OutOfOrderCore:
             return
         if self._fetch_blocked_on_seq is not None:
             return
-        if self.cycle < self._fetch_resume_cycle:
+        cycle = self.cycle
+        if cycle < self._fetch_resume_cycle:
             return
 
+        config = self.config
+        fetch_queue = self._fetch_queue
+        queue_cap = config.fetch_queue_entries
+        if len(fetch_queue) >= queue_cap:
+            return
+        trace = self._trace
+        length = trace.length
+        index = self._trace_pos
+        pcs = trace.pc
+        flags_arr = trace.flags
+        append = fetch_queue.append
+        warm = self._warmup_done
+        stats = self.stats
+        line_bytes = config.l1i.line_bytes
+        decode_ready = cycle + config.decode_latency
+        width = config.fetch_width
+        last_line = self._last_fetch_line
         fetched = 0
-        line_bytes = self.config.l1i.line_bytes
-        while (
-            fetched < self.config.fetch_width
-            and len(self._fetch_queue) < self.config.fetch_queue_entries
-        ):
-            dyn = self._next_trace_entry()
-            if dyn is None:
+        hints_fetched = 0
+        while fetched < width and len(fetch_queue) < queue_cap:
+            if index >= length:
+                self._trace_exhausted = True
                 break
-            if self._warmup_done:
-                self.stats.fetched_instructions += 1
-                if dyn.is_hint:
-                    self.stats.hint_noops_fetched += 1
+            pc = pcs[index]
+            flags = flags_arr[index]
+            if flags & F_HINT:
+                hints_fetched += 1
 
             # Instruction-cache access per new line.
-            line = dyn.pc // line_bytes
-            if line != self._last_fetch_line:
-                self._last_fetch_line = line
-                result = self.memory.instruction_fetch(dyn.pc)
-                if self._warmup_done:
-                    self.stats.l1i_accesses += 1
-                    if not result.l1_hit:
-                        self.stats.l1i_misses += 1
-                if not result.l1_hit:
-                    self._fetch_resume_cycle = self.cycle + result.latency
-                    self._fetch_queue.append(
-                        _FetchQueueEntry(dyn, self.cycle + self.config.decode_latency)
-                    )
+            line = pc // line_bytes
+            if line != last_line:
+                last_line = line
+                latency, l1_hit, _ = self.memory.instruction_fetch_fast(pc)
+                if warm:
+                    stats.l1i_accesses += 1
+                    if not l1_hit:
+                        stats.l1i_misses += 1
+                if not l1_hit:
+                    self._fetch_resume_cycle = cycle + latency
+                    append((index, decode_ready))
                     fetched += 1
                     # The missed line still delivers this instruction, so it
                     # must run branch prediction like any other: a branch
                     # fetched on a missed line can mispredict and block the
                     # front end past the miss itself.
-                    self._handle_control_flow(dyn)
+                    if flags & F_CONTROL:
+                        self._handle_control_flow(index, flags)
+                    index += 1
                     break
 
-            self._fetch_queue.append(
-                _FetchQueueEntry(dyn, self.cycle + self.config.decode_latency)
-            )
+            append((index, decode_ready))
             fetched += 1
 
-            if self._handle_control_flow(dyn):
+            if flags & F_CONTROL and self._handle_control_flow(index, flags):
+                index += 1
                 break  # mispredicted: stop fetching this cycle
+            index += 1
+        self._trace_pos = index
+        self._last_fetch_line = last_line
+        if warm and fetched:
+            stats.fetched_instructions += fetched
+            stats.hint_noops_fetched += hints_fetched
 
-    def _next_trace_entry(self) -> Optional[DynamicInstruction]:
-        try:
-            return next(self._trace)
-        except StopIteration:
-            self._trace_exhausted = True
-            return None
+    def _handle_control_flow(self, index: int, flags: int) -> bool:
+        """Run branch prediction for the instruction at ``index``.
 
-    def _handle_control_flow(self, dyn: DynamicInstruction) -> bool:
-        """Run branch prediction for ``dyn``; return True if fetch must stop."""
-        instr = dyn.static
+        Returns True if fetch must stop (the transfer mispredicted).
+        """
+        trace = self._trace
         mispredicted = False
-        if instr.is_branch:
+        if flags & F_BRANCH:
             if self._warmup_done:
                 self.stats.branches += 1
-            outcome = self.predictor.predict_and_update(dyn.pc, dyn.taken, dyn.next_pc)
+            outcome = self.predictor.predict_and_update(
+                trace.pc[index], trace.taken[index] != 0, trace.next_pc[index]
+            )
             mispredicted = not outcome.correct
             if mispredicted and self._warmup_done:
                 self.stats.branch_mispredicts += 1
-        elif instr.is_call:
-            self.predictor.push_return_address(dyn.pc + 4)
-        elif instr.is_return:
-            correct = self.predictor.predict_return(dyn.next_pc)
+        elif flags & F_CALL:
+            self.predictor.push_return_address(trace.pc[index] + 4)
+        elif flags & F_RET:
+            correct = self.predictor.predict_return(trace.next_pc[index])
             mispredicted = not correct
             if mispredicted and self._warmup_done:
                 self.stats.ras_mispredicts += 1
 
         if mispredicted:
-            self._fetch_blocked_on_seq = dyn.seq
+            self._fetch_blocked_on_seq = index
         return mispredicted
 
     # ------------------------------------------------------------------
-    # Per-cycle sampling
+    # Event-driven sampling
     # ------------------------------------------------------------------
-    def _sample(self) -> None:
-        if not self._warmup_done:
-            return
-        stats = self.stats
-        stats.sampled_cycles += 1
-        stats.iq_occupancy_sum += self.iq.occupancy
-        stats.iq_waiting_operand_sum += self.iq.waiting_operand_count
-        stats.iq_banks_on_sum += self.iq.enabled_banks(self.policy.iq_bank_gating)
-        stats.rf_banks_on_sum += self.rename.int_file.enabled_banks(
-            self.policy.rf_bank_gating
+    def _flush_sample(self) -> None:
+        """Fold the previous snapshot over the cycles it stayed valid.
+
+        Called at the end of any cycle in which a stage changed one of the
+        six sampled quantities; cycles in between carried the unchanged
+        snapshot, so the accumulated sums equal per-cycle sampling exactly.
+        """
+        cycle = self.cycle
+        pending = cycle - self._sample_anchor
+        if pending:
+            stats = self.stats
+            snap = self._sample_snapshot
+            stats.sampled_cycles += pending
+            stats.iq_occupancy_sum += snap[0] * pending
+            stats.iq_waiting_operand_sum += snap[1] * pending
+            stats.iq_banks_on_sum += snap[2] * pending
+            stats.rf_banks_on_sum += snap[3] * pending
+            stats.rf_live_regs_sum += snap[4] * pending
+            stats.rf_inflight_sum += snap[5] * pending
+        iq = self.iq
+        int_file = self.rename.int_file
+        policy = self.policy
+        self._sample_snapshot = (
+            iq.count,
+            iq.waiting_operand_count,
+            iq.active_banks if policy.iq_bank_gating else iq.num_banks,
+            int_file.active_banks if policy.rf_bank_gating else int_file.num_banks,
+            int_file.allocated,
+            self.rob.count,
         )
-        stats.rf_live_regs_sum += self.rename.int_file.allocated
-        stats.rf_inflight_sum += self.rob.occupancy
+        self._sample_anchor = cycle
+        self._sample_dirty = False
+
+    def _finalize_sample(self) -> None:
+        """Account the trailing unchanged cycles at the end of the run.
+
+        A flush folds ``[anchor, cycle)`` with the standing snapshot and
+        re-anchors at the current cycle, which is exactly the trailing
+        correction needed here (and also covers a dirty snapshot left by
+        a caller driving stages manually).
+        """
+        if self._warmup_done:
+            self._flush_sample()
 
 
 def simulate(
@@ -483,8 +826,16 @@ def simulate(
     max_instructions: int = 20_000,
     warmup_instructions: int = 0,
     max_cycles: Optional[int] = None,
+    trace_cache=None,
+    live_emulation: Optional[bool] = None,
 ) -> SimulationStats:
-    """Convenience wrapper: emulate ``program`` and time it under ``policy``.
+    """Convenience wrapper: emulate ``program`` once and replay it under
+    ``policy``.
+
+    The functional emulation is decoupled from the timing loop: the
+    committed stream is pre-decoded into flat arrays by
+    :func:`repro.uarch.trace.get_decoded_trace` (memoised per process and
+    optionally cached on disk), and the core replays those arrays.
 
     Args:
         program: an IR :class:`~repro.isa.program.Program`.
@@ -495,12 +846,22 @@ def simulate(
         warmup_instructions: committed instructions to run before statistics
             start accumulating (cache/predictor warm-up).
         max_cycles: optional safety cap on simulated cycles.
+        trace_cache: optional on-disk trace cache — a
+            :class:`~repro.uarch.trace.TraceCache` or a directory path.
+        live_emulation: force a fresh functional emulation, bypassing the
+            trace memo and the disk cache (default: the
+            ``REPRO_LIVE_EMULATION`` environment variable).
 
     Returns:
         The populated :class:`~repro.uarch.stats.SimulationStats`.
     """
-    emulator = FunctionalEmulator(program)
-    trace = emulator.run(max_instructions=max_instructions)
+    if live_emulation is None:
+        live_emulation = bool(os.environ.get("REPRO_LIVE_EMULATION"))
+    if trace_cache is not None and not isinstance(trace_cache, TraceCache):
+        trace_cache = TraceCache(trace_cache)
+    trace = get_decoded_trace(
+        program, max_instructions, cache=trace_cache, live=live_emulation
+    )
     core = OutOfOrderCore(
         trace,
         config=config,

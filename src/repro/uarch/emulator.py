@@ -103,13 +103,70 @@ class DynamicInstruction:
         return self.static.is_hint
 
 
-@dataclass
-class _Position:
-    """A point in the static program: procedure, block index, instruction index."""
+# Pre-compiled execution-spec kinds (first element of each spec tuple).
+_K_ALU = 0
+_K_BRANCH = 1
+_K_LOAD = 2
+_K_STORE = 3
+_K_NOOP = 4
+_K_CALL = 5
+_K_RET = 6
+_K_JUMP = 7
+_K_HALT = 8
 
-    procedure: str
-    block_index: int
-    instr_index: int
+
+def _reg_spec(reg) -> tuple[int, bool]:
+    return (reg.index, reg.is_fp)
+
+
+def _compile_instruction(instr: Instruction, block_index: dict[str, int]) -> tuple:
+    """Lower one static instruction into an interpreter execution spec.
+
+    The spec front-loads everything the main loop would otherwise fetch
+    per dynamic execution: operand register indices and files, immediates,
+    and branch/jump targets resolved to block indices.
+    """
+    opcode = instr.opcode
+    if opcode is Opcode.HALT:
+        return (_K_HALT,)
+    if opcode is Opcode.CALL:
+        return (_K_CALL, instr.call_target)
+    if opcode is Opcode.RET:
+        return (_K_RET,)
+    if opcode is Opcode.JUMP:
+        return (_K_JUMP, block_index[instr.target])
+    if opcode is Opcode.BEQZ or opcode is Opcode.BNEZ:
+        return (
+            _K_BRANCH,
+            opcode is Opcode.BNEZ,
+            _reg_spec(instr.srcs[0]),
+            block_index[instr.target],
+        )
+    if opcode is Opcode.LOAD:
+        return (
+            _K_LOAD,
+            _reg_spec(instr.srcs[0]),
+            instr.imm,
+            _reg_spec(instr.dests[0]),
+        )
+    if opcode is Opcode.STORE:
+        return (
+            _K_STORE,
+            _reg_spec(instr.srcs[0]),
+            instr.imm,
+            _reg_spec(instr.srcs[1]),
+        )
+    if opcode is Opcode.NOP or opcode is Opcode.HINT:
+        return (_K_NOOP,)
+    srcs = instr.srcs
+    return (
+        _K_ALU,
+        opcode,
+        _reg_spec(srcs[0]) if srcs else None,
+        _reg_spec(srcs[1]) if len(srcs) > 1 else None,
+        _reg_spec(instr.dests[0]) if instr.dests else None,
+        instr.imm,
+    )
 
 
 class FunctionalEmulator:
@@ -132,6 +189,38 @@ class FunctionalEmulator:
         self.registers[29] = self.STACK_BASE  # conventional stack pointer
         self.memory: dict[int, int] = {}
         self.instructions_executed = 0
+
+        # label -> block index per procedure, so branch resolution is a
+        # dict lookup instead of a linear scan of the block list.
+        self._block_index: dict[str, dict[str, int]] = {
+            name: {block.label: i for i, block in enumerate(proc.blocks)}
+            for name, proc in program.procedures.items()
+        }
+        # Per-procedure list of per-block [(instruction, pc, spec), ...]
+        # triples, so the main loop never consults the uid -> pc map and
+        # dispatches on a pre-compiled small-int execution spec instead of
+        # opcode enums and ``Reg`` attribute chains; built lazily on first
+        # entry into each procedure.
+        self._proc_cache: dict[str, list[list[tuple]]] = {}
+
+    def _blocks_for(self, proc_name: str) -> list[list[tuple]]:
+        cached = self._proc_cache.get(proc_name)
+        if cached is None:
+            instruction_pc = self.layout.instruction_pc
+            block_index = self._block_index[proc_name]
+            cached = [
+                [
+                    (
+                        instr,
+                        instruction_pc[instr.uid],
+                        _compile_instruction(instr, block_index),
+                    )
+                    for instr in block.instructions
+                ]
+                for block in self.program.procedures[proc_name].blocks
+            ]
+            self._proc_cache[proc_name] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Memory helpers
@@ -172,146 +261,231 @@ class FunctionalEmulator:
         """Execute from the program entry; yield committed dynamic instructions.
 
         Execution stops at ``HALT``, when the entry procedure returns, or
-        after ``max_instructions`` dynamic instructions.
+        after ``max_instructions`` dynamic instructions.  The whole stream
+        is produced by :meth:`run_collect` (bounded by
+        ``max_instructions``) and then wrapped in
+        :class:`DynamicInstruction` objects.
+        """
+        statics, pcs, next_pcs, takens, mems = self.run_collect(max_instructions)
+        for seq in range(len(pcs)):
+            yield DynamicInstruction(
+                static=statics[seq],
+                seq=seq,
+                pc=pcs[seq],
+                next_pc=next_pcs[seq],
+                taken=takens[seq],
+                mem_address=mems[seq],
+            )
+
+    def run_collect(
+        self, max_instructions: int = 1_000_000
+    ) -> tuple[list, list[int], list[int], list[bool], list[Optional[int]]]:
+        """Execute and return ``(statics, pcs, next_pcs, takens, mems)``.
+
+        The column-oriented form feeds :mod:`repro.uarch.trace` directly,
+        avoiding one :class:`DynamicInstruction` allocation per committed
+        instruction on the pre-decode path.
         """
         program = self.program
-        position = _Position(program.entry, 0, 0)
-        call_stack: list[_Position] = []
+        regs = self.registers
+        fregs = self.fp_registers
+        memory = self.memory
+        max_call_depth = self.max_call_depth
+
+        statics: list = []
+        pcs: list[int] = []
+        next_pcs: list[int] = []
+        takens: list[bool] = []
+        mems: list[Optional[int]] = []
+        statics_append = statics.append
+        pcs_append = pcs.append
+        next_pcs_append = next_pcs.append
+        takens_append = takens.append
+        mems_append = mems.append
+
+        # The current position is (procedure name, block index, instruction
+        # index) held in plain locals; ``blocks`` holds the procedure's
+        # pre-zipped [(instruction, pc), ...] lists and ``instrs`` the
+        # current block's, refreshed whenever control flow moves.
+        proc_name = program.entry
+        blocks = self._blocks_for(proc_name)
+        block_idx = 0
+        instr_idx = 0
+        instrs = blocks[0] if blocks else []
+        call_stack: list[tuple[str, int, int]] = []
         seq = 0
 
         while seq < max_instructions:
-            procedure = program.procedures[position.procedure]
-            if position.block_index >= len(procedure.blocks):
-                break
-            block = procedure.blocks[position.block_index]
-            if position.instr_index >= len(block.instructions):
+            if instr_idx >= len(instrs):
                 # Fall off the end of a block: continue with the next block.
-                position = _Position(position.procedure, position.block_index + 1, 0)
+                block_idx += 1
+                instr_idx = 0
+                if block_idx >= len(blocks):
+                    break
+                instrs = blocks[block_idx]
                 continue
 
-            instr = block.instructions[position.instr_index]
-            pc = self.layout.instruction_pc[instr.uid]
+            instr, pc, spec = instrs[instr_idx]
             taken = False
             mem_address: Optional[int] = None
-            next_position = _Position(
-                position.procedure, position.block_index, position.instr_index + 1
-            )
             halt = False
+            # Default successor: the next instruction of this block.
+            next_proc = proc_name
+            next_block = block_idx
+            next_instr = instr_idx + 1
 
-            opcode = instr.opcode
-            if opcode is Opcode.HALT:
-                halt = True
-            elif opcode is Opcode.CALL:
-                if len(call_stack) >= self.max_call_depth:
+            kind = spec[0]
+            if kind == _K_ALU:
+                _, opcode, a_spec, b_spec, dest_spec, imm = spec
+                if a_spec is None:
+                    a = 0
+                else:
+                    a_idx, a_fp = a_spec
+                    a = fregs[a_idx] if a_fp else regs[a_idx]
+                if b_spec is None:
+                    b = imm
+                else:
+                    b_idx, b_fp = b_spec
+                    b = fregs[b_idx] if b_fp else regs[b_idx]
+                if opcode is Opcode.ADD:
+                    result = a + b
+                elif opcode is Opcode.LI:
+                    result = imm
+                elif opcode is Opcode.SUB:
+                    result = a - b
+                elif opcode is Opcode.MOV:
+                    result = a
+                elif opcode is Opcode.CMP_LT:
+                    result = 1 if a < b else 0
+                elif opcode is Opcode.CMP_EQ:
+                    result = 1 if a == b else 0
+                elif opcode is Opcode.AND:
+                    result = int(a) & int(b)
+                elif opcode is Opcode.OR:
+                    result = int(a) | int(b)
+                elif opcode is Opcode.XOR:
+                    result = int(a) ^ int(b)
+                elif opcode is Opcode.SHL:
+                    result = int(a) << (int(b) & 31)
+                elif opcode is Opcode.SHR:
+                    result = int(a) >> (int(b) & 31)
+                elif opcode is Opcode.MUL:
+                    result = int(a) * int(b)
+                elif opcode is Opcode.DIV:
+                    result = int(a) // int(b) if int(b) != 0 else 0
+                elif opcode is Opcode.FADD:
+                    result = float(a) + float(b)
+                elif opcode is Opcode.FSUB:
+                    result = float(a) - float(b)
+                elif opcode is Opcode.FMUL:
+                    result = float(a) * float(b)
+                elif opcode is Opcode.FDIV:
+                    result = float(a) / float(b) if float(b) != 0.0 else 0.0
+                else:  # pragma: no cover - defensive
+                    result = 0
+                if dest_spec is not None:
+                    d_idx, d_fp = dest_spec
+                    if d_fp:
+                        fregs[d_idx] = float(result)
+                    elif d_idx != ZERO_REG:
+                        regs[d_idx] = int(result) & _VALUE_MASK
+            elif kind == _K_BRANCH:
+                _, is_bnez, (s_idx, s_fp), target_block = spec
+                value = fregs[s_idx] if s_fp else regs[s_idx]
+                taken = (value != 0) if is_bnez else (value == 0)
+                if taken:
+                    next_block = target_block
+                    next_instr = 0
+            elif kind == _K_LOAD:
+                _, (b_idx, b_fp), imm, (d_idx, d_fp) = spec
+                base = fregs[b_idx] if b_fp else regs[b_idx]
+                mem_address = (int(base) + imm) & _VALUE_MASK
+                # Inlined read_memory + destination write.
+                value = memory.get(mem_address)
+                if value is None:
+                    value = (mem_address * _UNINIT_HASH_MULTIPLIER) & 0xFFFF
+                if d_fp:
+                    fregs[d_idx] = float(value)
+                elif d_idx != ZERO_REG:
+                    regs[d_idx] = value & _VALUE_MASK
+            elif kind == _K_STORE:
+                _, (b_idx, b_fp), imm, (v_idx, v_fp) = spec
+                base = fregs[b_idx] if b_fp else regs[b_idx]
+                mem_address = (int(base) + imm) & _VALUE_MASK
+                value = fregs[v_idx] if v_fp else regs[v_idx]
+                memory[mem_address] = int(value) & _VALUE_MASK
+            elif kind == _K_CALL:
+                if len(call_stack) >= max_call_depth:
                     raise EmulationLimitExceeded(
-                        f"call depth exceeded {self.max_call_depth} in {position.procedure}"
+                        f"call depth exceeded {max_call_depth} in {proc_name}"
                     )
-                call_stack.append(next_position)
-                next_position = _Position(instr.call_target, 0, 0)
+                call_stack.append((proc_name, block_idx, next_instr))
+                next_proc = spec[1]
+                next_block = 0
+                next_instr = 0
                 taken = True
-            elif opcode is Opcode.RET:
+            elif kind == _K_RET:
                 taken = True
                 if call_stack:
-                    next_position = call_stack.pop()
+                    next_proc, next_block, next_instr = call_stack.pop()
                 else:
                     halt = True
-            elif opcode is Opcode.JUMP:
+            elif kind == _K_JUMP:
                 taken = True
-                next_position = _Position(
-                    position.procedure, procedure.block_index(instr.target), 0
-                )
-            elif opcode in (Opcode.BEQZ, Opcode.BNEZ):
-                value = self._read_reg(instr.srcs[0])
-                taken = (value == 0) if opcode is Opcode.BEQZ else (value != 0)
-                if taken:
-                    next_position = _Position(
-                        position.procedure, procedure.block_index(instr.target), 0
-                    )
-            elif opcode is Opcode.LOAD:
-                base = self._read_reg(instr.srcs[0])
-                mem_address = (int(base) + instr.imm) & _VALUE_MASK
-                self._write_reg(instr.dests[0], self.read_memory(mem_address))
-            elif opcode is Opcode.STORE:
-                base = self._read_reg(instr.srcs[0])
-                mem_address = (int(base) + instr.imm) & _VALUE_MASK
-                self.write_memory(mem_address, int(self._read_reg(instr.srcs[1])))
-            elif opcode not in (Opcode.NOP, Opcode.HINT):
-                self._execute_alu(instr)
+                next_block = spec[1]
+                next_instr = 0
+            elif kind == _K_HALT:
+                halt = True
+            # _K_NOOP: no architectural effect.
 
-            next_pc = self._position_pc(next_position, call_stack) if not halt else pc + 4
-            yield DynamicInstruction(
-                static=instr,
-                seq=seq,
-                pc=pc,
-                next_pc=next_pc,
-                taken=taken,
-                mem_address=mem_address,
-            )
+            if halt:
+                next_pc = pc + 4
+            elif (
+                next_proc is proc_name
+                and next_block == block_idx
+                and next_instr == instr_idx + 1
+                and next_instr < len(instrs)
+            ):
+                # Straight-line successor: layout PCs are consecutive.
+                next_pc = pc + 4
+            else:
+                next_pc = self._position_pc(next_proc, next_block, next_instr)
+
+            statics_append(instr)
+            pcs_append(pc)
+            next_pcs_append(next_pc)
+            takens_append(taken)
+            mems_append(mem_address)
             seq += 1
-            self.instructions_executed = seq
             if halt:
                 break
-            position = next_position
+            if next_proc is not proc_name:
+                proc_name = next_proc
+                blocks = self._blocks_for(proc_name)
+                block_idx = next_block
+                instr_idx = next_instr
+                instrs = blocks[block_idx] if block_idx < len(blocks) else []
+            elif next_block != block_idx:
+                block_idx = next_block
+                instr_idx = next_instr
+                instrs = blocks[block_idx] if block_idx < len(blocks) else []
+            else:
+                instr_idx = next_instr
+        self.instructions_executed = seq
+        return statics, pcs, next_pcs, takens, mems
 
     # ------------------------------------------------------------------
-    def _position_pc(self, position: _Position, call_stack: list[_Position]) -> int:
-        """PC of the instruction at ``position`` (best effort at block ends)."""
-        procedure = self.program.procedures.get(position.procedure)
-        if procedure is None or position.block_index >= len(procedure.blocks):
+    def _position_pc(self, proc_name: str, block_index: int, instr_index: int) -> int:
+        """PC of the instruction at the given position (best effort at block ends)."""
+        procedure = self.program.procedures.get(proc_name)
+        if procedure is None or block_index >= len(procedure.blocks):
             return 0
-        block = procedure.blocks[position.block_index]
-        if position.instr_index < len(block.instructions):
-            return self.layout.instruction_pc[block.instructions[position.instr_index].uid]
+        block = procedure.blocks[block_index]
+        if instr_index < len(block.instructions):
+            return self.layout.instruction_pc[block.instructions[instr_index].uid]
         # Falling off the block: the next block's first instruction.
-        if position.block_index + 1 < len(procedure.blocks):
-            nxt = procedure.blocks[position.block_index + 1]
+        if block_index + 1 < len(procedure.blocks):
+            nxt = procedure.blocks[block_index + 1]
             if nxt.instructions:
                 return self.layout.instruction_pc[nxt.instructions[0].uid]
         return 0
-
-    def _execute_alu(self, instr: Instruction) -> None:
-        """Execute an arithmetic/logical/FP instruction."""
-        opcode = instr.opcode
-        srcs = [self._read_reg(reg) for reg in instr.srcs]
-        a = srcs[0] if srcs else 0
-        b = srcs[1] if len(srcs) > 1 else instr.imm
-
-        if opcode is Opcode.LI:
-            result = instr.imm
-        elif opcode is Opcode.MOV:
-            result = a
-        elif opcode is Opcode.ADD:
-            result = a + b
-        elif opcode is Opcode.SUB:
-            result = a - b
-        elif opcode is Opcode.AND:
-            result = int(a) & int(b)
-        elif opcode is Opcode.OR:
-            result = int(a) | int(b)
-        elif opcode is Opcode.XOR:
-            result = int(a) ^ int(b)
-        elif opcode is Opcode.SHL:
-            result = int(a) << (int(b) & 31)
-        elif opcode is Opcode.SHR:
-            result = int(a) >> (int(b) & 31)
-        elif opcode is Opcode.CMP_LT:
-            result = 1 if a < b else 0
-        elif opcode is Opcode.CMP_EQ:
-            result = 1 if a == b else 0
-        elif opcode is Opcode.MUL:
-            result = int(a) * int(b)
-        elif opcode is Opcode.DIV:
-            result = int(a) // int(b) if int(b) != 0 else 0
-        elif opcode is Opcode.FADD:
-            result = float(a) + float(b)
-        elif opcode is Opcode.FSUB:
-            result = float(a) - float(b)
-        elif opcode is Opcode.FMUL:
-            result = float(a) * float(b)
-        elif opcode is Opcode.FDIV:
-            result = float(a) / float(b) if float(b) != 0.0 else 0.0
-        else:  # pragma: no cover - defensive
-            result = 0
-
-        if instr.dests:
-            self._write_reg(instr.dests[0], result)

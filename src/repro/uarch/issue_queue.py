@@ -16,16 +16,22 @@ This models the paper's issue queue (section 3.1):
 
 The queue also keeps the power-relevant event counts: waiting (non-ready,
 non-empty) operands for gated wakeup energy, total slots for ungated wakeup
-energy, and per-bank occupancy for static gating.
+energy, and per-bank occupancy for static gating.  ``active_banks`` is
+maintained incrementally (a bank counts while it holds at least one valid
+entry) so the per-cycle sampler reads one attribute instead of scanning
+``bank_counts``.
+
+Entry objects are pooled per slot: a slot lazily creates one
+:class:`IssueQueueEntry` and reuses it for every instruction that later
+occupies the slot.  ``allocate`` takes ownership of the ``waiting_tags``
+set it is given (no defensive copy) — callers must pass a fresh set.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 
-@dataclass
 class IssueQueueEntry:
     """One valid issue-queue slot.
 
@@ -34,7 +40,9 @@ class IssueQueueEntry:
         slot: slot index inside the queue.
         waiting_tags: physical-register tags still outstanding.
         num_source_operands: total source operands the entry arrived with.
-        fu_class: functional-unit class needed to issue.
+        fu_class: functional-unit class needed to issue (the replay core
+            stores the :data:`~repro.uarch.functional_units.FU_INDEX`
+            ordinal here).
         ready_cycle: earliest cycle the entry may issue (used to enforce the
             one-cycle wakeup-to-issue ordering for operands that were ready
             at dispatch time).
@@ -44,13 +52,33 @@ class IssueQueueEntry:
             ready set sorts on this instead of walking the circular buffer.
     """
 
-    rob_index: int
-    slot: int
-    waiting_tags: set[int] = field(default_factory=set)
-    num_source_operands: int = 0
-    fu_class: object = None
-    ready_cycle: int = 0
-    age: int = 0
+    __slots__ = (
+        "rob_index",
+        "slot",
+        "waiting_tags",
+        "num_source_operands",
+        "fu_class",
+        "ready_cycle",
+        "age",
+    )
+
+    def __init__(
+        self,
+        rob_index: int,
+        slot: int,
+        waiting_tags: Optional[set[int]] = None,
+        num_source_operands: int = 0,
+        fu_class: object = None,
+        ready_cycle: int = 0,
+        age: int = 0,
+    ):
+        self.rob_index = rob_index
+        self.slot = slot
+        self.waiting_tags = waiting_tags if waiting_tags is not None else set()
+        self.num_source_operands = num_source_operands
+        self.fu_class = fu_class
+        self.ready_cycle = ready_cycle
+        self.age = age
 
     @property
     def is_ready(self) -> bool:
@@ -69,6 +97,7 @@ class BankedIssueQueue:
         self.num_banks = (capacity + bank_size - 1) // bank_size
 
         self.slots: list[Optional[IssueQueueEntry]] = [None] * capacity
+        self._pool: list[Optional[IssueQueueEntry]] = [None] * capacity
         self.head = 0
         self.tail = 0
         self.new_head = 0
@@ -78,6 +107,7 @@ class BankedIssueQueue:
         self.global_limit: Optional[int] = None
 
         self.bank_counts = [0] * self.num_banks
+        self.active_banks = 0  # banks currently holding >= 1 valid entry
         self.waiting_operand_count = 0
         # Ungated comparator operations per result broadcast: every operand
         # slot of the whole queue precharges and compares (two per entry).
@@ -117,7 +147,7 @@ class BankedIssueQueue:
         """Number of banks that must be powered this cycle."""
         if not bank_gating:
             return self.num_banks
-        return sum(1 for count in self.bank_counts if count > 0)
+        return self.active_banks
 
     # ------------------------------------------------------------------
     # Compiler / policy control
@@ -158,32 +188,47 @@ class BankedIssueQueue:
         fu_class,
         ready_cycle: int,
     ) -> IssueQueueEntry:
-        """Insert a new entry at the tail and return it."""
+        """Insert a new entry at the tail and return it.
+
+        Takes ownership of ``waiting_tags``: the queue mutates the set as
+        broadcasts wake operands.
+        """
         ok, reason = self.can_dispatch()
         if not ok:
             raise RuntimeError(f"allocate called while dispatch blocked ({reason})")
         slot = self.tail
-        entry = IssueQueueEntry(
-            rob_index=rob_index,
-            slot=slot,
-            waiting_tags=set(waiting_tags),
-            num_source_operands=num_source_operands,
-            fu_class=fu_class,
-            ready_cycle=ready_cycle,
-        )
-        entry.age = self._next_age
-        self._next_age += 1
+        entry = self._pool[slot]
+        if entry is None:
+            entry = IssueQueueEntry(rob_index=rob_index, slot=slot)
+            self._pool[slot] = entry
+        entry.rob_index = rob_index
+        entry.waiting_tags = waiting_tags
+        entry.num_source_operands = num_source_operands
+        entry.fu_class = fu_class
+        entry.ready_cycle = ready_cycle
+        age = self._next_age
+        entry.age = age
+        self._next_age = age + 1
         self.slots[slot] = entry
-        self.tail = (self.tail + 1) % self.capacity
+        self.tail = (slot + 1) % self.capacity
         self.count += 1
         self.span += 1
-        self.bank_counts[slot // self.bank_size] += 1
-        self.waiting_operand_count += len(entry.waiting_tags)
-        if entry.waiting_tags:
-            for tag in entry.waiting_tags:
-                self._consumers.setdefault(tag, []).append(entry)
+        bank = slot // self.bank_size
+        bank_counts = self.bank_counts
+        if bank_counts[bank] == 0:
+            self.active_banks += 1
+        bank_counts[bank] += 1
+        if waiting_tags:
+            self.waiting_operand_count += len(waiting_tags)
+            consumers = self._consumers
+            for tag in waiting_tags:
+                existing = consumers.get(tag)
+                if existing is None:
+                    consumers[tag] = [entry]
+                else:
+                    existing.append(entry)
         else:
-            self._ready_by_age[entry.age] = entry
+            self._ready_by_age[age] = entry
         return entry
 
     # ------------------------------------------------------------------
@@ -195,13 +240,16 @@ class BankedIssueQueue:
         consumers = self._consumers.pop(tag, None)
         if not consumers:
             return 0
+        slots = self.slots
+        ready_by_age = self._ready_by_age
         for entry in consumers:
-            if self.slots[entry.slot] is entry and tag in entry.waiting_tags:
-                entry.waiting_tags.discard(tag)
+            waiting = entry.waiting_tags
+            if slots[entry.slot] is entry and tag in waiting:
+                waiting.discard(tag)
                 self.waiting_operand_count -= 1
                 woken += 1
-                if not entry.waiting_tags:
-                    self._ready_by_age[entry.age] = entry
+                if not waiting:
+                    ready_by_age[entry.age] = entry
         return woken
 
     def ready_entries_in_age_order(self) -> list[IssueQueueEntry]:
@@ -218,25 +266,38 @@ class BankedIssueQueue:
             raise RuntimeError("attempt to remove an entry that is not resident")
         self.slots[slot] = None
         self.count -= 1
-        self.bank_counts[slot // self.bank_size] -= 1
+        bank = slot // self.bank_size
+        bank_counts = self.bank_counts
+        bank_counts[bank] -= 1
+        if bank_counts[bank] == 0:
+            self.active_banks -= 1
         self.waiting_operand_count -= len(entry.waiting_tags)
         self._ready_by_age.pop(entry.age, None)
         self._advance_pointers()
 
     def _advance_pointers(self) -> None:
         """Slide ``head`` and ``new_head`` past holes towards the tail."""
-        while self.span > 0 and self.slots[self.head] is None:
-            self.head = (self.head + 1) % self.capacity
-            self.span -= 1
-        if self.span == 0:
+        slots = self.slots
+        capacity = self.capacity
+        head = self.head
+        span = self.span
+        while span > 0 and slots[head] is None:
+            head = (head + 1) % capacity
+            span -= 1
+        self.head = head
+        self.span = span
+        if span == 0:
             self.head = self.tail
             self.new_head = self.tail
             return
         # new_head behaves like head but never falls behind it.
-        if self._distance(self.head, self.new_head) > self.span:
-            self.new_head = self.head
-        while self.new_head != self.tail and self.slots[self.new_head] is None:
-            self.new_head = (self.new_head + 1) % self.capacity
+        new_head = self.new_head
+        if (new_head - head) % capacity > span:
+            new_head = head
+        tail = self.tail
+        while new_head != tail and slots[new_head] is None:
+            new_head = (new_head + 1) % capacity
+        self.new_head = new_head
 
     # ------------------------------------------------------------------
     # Power-event sampling

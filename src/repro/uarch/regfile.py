@@ -12,11 +12,17 @@ dispatched instruction with a destination takes a free physical register;
 the *previous* mapping of that architectural register is released when the
 instruction commits.  The simulator is trace-driven (no wrong-path state),
 so no checkpoint/rollback is required.
+
+The free list is a preallocated integer **bitmask** rather than a heap of
+boxed indices: bit *i* set means physical register *i* is free.  Lowest-
+first allocation (the clustering the paper's static savings rely on) is
+``mask & -mask``; release is a single ``or``.  Nothing is allocated per
+rename, and ``free_count`` is maintained incrementally so the dispatch
+stage's availability check is one attribute read.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 
@@ -51,29 +57,26 @@ class PhysicalRegisterFile:
         self.bank_size = bank_size
         self.num_banks = (num_physical + bank_size - 1) // bank_size
 
-        # Architectural register i starts mapped to physical register i.
+        # Architectural register i starts mapped to physical register i;
+        # the free mask holds every physical register above them.
         self.rename_map = list(range(num_architectural))
-        self._free: list[int] = list(range(num_architectural, num_physical))
-        heapq.heapify(self._free)
+        self._free_mask = ((1 << num_physical) - 1) ^ ((1 << num_architectural) - 1)
+        self.free_count = num_physical - num_architectural
         self.allocated = num_architectural
         self.bank_counts = [0] * self.num_banks
         for phys in range(num_architectural):
             self.bank_counts[phys // bank_size] += 1
+        self.active_banks = sum(1 for count in self.bank_counts if count > 0)
 
         self.reads = 0
         self.writes = 0
 
     # ------------------------------------------------------------------
-    @property
-    def free_count(self) -> int:
-        """Number of free physical registers."""
-        return len(self._free)
-
     def enabled_banks(self, bank_gating: bool) -> int:
         """Banks that must be powered (all of them without gating)."""
         if not bank_gating:
             return self.num_banks
-        return sum(1 for count in self.bank_counts if count > 0)
+        return self.active_banks
 
     # ------------------------------------------------------------------
     def lookup(self, arch_reg: int) -> int:
@@ -84,24 +87,40 @@ class PhysicalRegisterFile:
         """Allocate a new physical register for ``arch_reg``.
 
         Returns ``(new_physical, previous_physical)``; the previous mapping
-        must be released when the renaming instruction commits.
+        must be released when the renaming instruction commits.  The lowest
+        free register is always chosen, clustering live registers into the
+        low banks.
         """
-        if not self._free:
+        mask = self._free_mask
+        if not mask:
             raise OutOfPhysicalRegisters(
                 f"no free physical registers (all {self.num_physical} allocated)"
             )
-        new_phys = heapq.heappop(self._free)
-        previous = self.rename_map[arch_reg]
-        self.rename_map[arch_reg] = new_phys
+        lowest = mask & -mask
+        self._free_mask = mask ^ lowest
+        new_phys = lowest.bit_length() - 1
+        rename_map = self.rename_map
+        previous = rename_map[arch_reg]
+        rename_map[arch_reg] = new_phys
         self.allocated += 1
-        self.bank_counts[new_phys // self.bank_size] += 1
+        self.free_count -= 1
+        bank = new_phys // self.bank_size
+        bank_counts = self.bank_counts
+        if bank_counts[bank] == 0:
+            self.active_banks += 1
+        bank_counts[bank] += 1
         return new_phys, previous
 
     def release(self, phys_reg: int) -> None:
         """Return ``phys_reg`` to the free list (called at commit)."""
-        heapq.heappush(self._free, phys_reg)
+        self._free_mask |= 1 << phys_reg
         self.allocated -= 1
-        self.bank_counts[phys_reg // self.bank_size] -= 1
+        self.free_count += 1
+        bank = phys_reg // self.bank_size
+        bank_counts = self.bank_counts
+        bank_counts[bank] -= 1
+        if bank_counts[bank] == 0:
+            self.active_banks -= 1
 
     def record_reads(self, count: int) -> None:
         """Account for ``count`` operand reads (at issue)."""
@@ -147,7 +166,9 @@ class RenameUnit:
         """Rename ``instruction``'s operands; raises if registers run out.
 
         Source tags are offset so integer and FP tags never collide: FP tags
-        occupy the range above the integer physical registers.
+        occupy the range above the integer physical registers.  (The replay
+        core renames from pre-decoded operand specs inline in its dispatch
+        stage; this object-based form serves tests and external callers.)
         """
         fp_offset = self.int_file.num_physical
         source_tags: list[int] = []

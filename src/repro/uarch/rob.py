@@ -4,11 +4,17 @@ A 128-entry circular buffer (table 1).  Entries progress through the states
 *dispatched* -> *issued* -> *completed* and commit in order from the head.
 The abella (IqRob64) baseline additionally limits how many ROB entries may
 be occupied, which is supported through :meth:`ReorderBuffer.set_limit`.
+
+Entry objects are pooled: each ring slot lazily creates one
+:class:`RobEntry` and reuses it for every instruction that later occupies
+the slot, so steady-state allocation performs no object construction.  An
+entry is live exactly while its slot lies in the head..tail window
+(``count`` tracks the extent), so recycled objects are never observable
+through the public API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 
@@ -16,14 +22,17 @@ DISPATCHED = 0
 ISSUED = 1
 COMPLETED = 2
 
+#: Shared placeholder for freshly (re)allocated entries' tag lists; the
+#: dispatch stage overwrites these with the real rename results.
+_NO_TAGS: tuple[int, ...] = ()
 
-@dataclass
+
 class RobEntry:
     """One reorder-buffer entry.
 
     Attributes:
         index: position in the circular buffer.
-        dyn: the dynamic instruction (or None for a reclaimed slot).
+        dyn: the dynamic instruction — a trace index for the replay core.
         state: DISPATCHED, ISSUED or COMPLETED.
         dest_tags: physical registers written by the instruction.
         freed_on_commit: physical registers released when it commits.
@@ -31,13 +40,33 @@ class RobEntry:
         completion_cycle: cycle at which execution finished.
     """
 
-    index: int
-    dyn: object = None
-    state: int = DISPATCHED
-    dest_tags: list[int] = field(default_factory=list)
-    freed_on_commit: list[int] = field(default_factory=list)
-    source_tags: list[int] = field(default_factory=list)
-    completion_cycle: int = 0
+    __slots__ = (
+        "index",
+        "dyn",
+        "state",
+        "dest_tags",
+        "freed_on_commit",
+        "source_tags",
+        "completion_cycle",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        dyn: object = None,
+        state: int = DISPATCHED,
+        dest_tags=None,
+        freed_on_commit=None,
+        source_tags=None,
+        completion_cycle: int = 0,
+    ):
+        self.index = index
+        self.dyn = dyn
+        self.state = state
+        self.dest_tags = dest_tags if dest_tags is not None else []
+        self.freed_on_commit = freed_on_commit if freed_on_commit is not None else []
+        self.source_tags = source_tags if source_tags is not None else []
+        self.completion_cycle = completion_cycle
 
 
 class ReorderBuffer:
@@ -80,9 +109,17 @@ class ReorderBuffer:
         if not self.can_allocate():
             raise RuntimeError("ROB allocate called while full")
         index = self.tail
-        entry = RobEntry(index=index, dyn=dyn, state=DISPATCHED)
-        self.entries[index] = entry
-        self.tail = (self.tail + 1) % self.capacity
+        entry = self.entries[index]
+        if entry is None:
+            entry = RobEntry(index=index)
+            self.entries[index] = entry
+        entry.dyn = dyn
+        entry.state = DISPATCHED
+        entry.dest_tags = _NO_TAGS
+        entry.freed_on_commit = _NO_TAGS
+        entry.source_tags = _NO_TAGS
+        entry.completion_cycle = 0
+        self.tail = (index + 1) % self.capacity
         self.count += 1
         return entry
 
@@ -104,12 +141,27 @@ class ReorderBuffer:
             return entry
         return None
 
+    def pop_completed(self) -> Optional[RobEntry]:
+        """Retire and return the head entry if completed, else None.
+
+        Single-call form of ``commit_ready`` + ``commit`` for the
+        per-cycle commit loop, which otherwise checks the head twice per
+        retired instruction.  The entry object stays in the ring for
+        reuse; it is live only until the next wrap reaches its slot.
+        """
+        if self.count == 0:
+            return None
+        head = self.head
+        entry = self.entries[head]
+        if entry is None or entry.state != COMPLETED:
+            return None
+        self.head = (head + 1) % self.capacity
+        self.count -= 1
+        return entry
+
     def commit(self) -> RobEntry:
         """Retire the head entry and return it."""
-        entry = self.commit_ready()
+        entry = self.pop_completed()
         if entry is None:
             raise RuntimeError("commit called with no completed head entry")
-        self.entries[self.head] = None
-        self.head = (self.head + 1) % self.capacity
-        self.count -= 1
         return entry

@@ -65,6 +65,10 @@ class SimulationStats:
     rf_inflight_sum: int = 0  # dispatched-not-committed instructions per cycle
 
     # Per-cycle sample count for the averages above (== cycles normally).
+    # The core accumulates these sums event-driven — folding each
+    # quantity times the number of cycles it stayed constant at stage
+    # boundaries rather than re-reading every structure every cycle —
+    # which yields end-of-run values identical to per-cycle sampling.
     sampled_cycles: int = 0
 
     extra: dict[str, float] = field(default_factory=dict)

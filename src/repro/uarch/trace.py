@@ -1,0 +1,521 @@
+"""Trace pre-decode and replay: flat arrays instead of object streams.
+
+The timing core is trace-driven, and the committed dynamic instruction
+stream is a pure function of (program, instruction budget): no timing
+decision ever feeds back into architectural state.  This module therefore
+runs the functional emulator **once** per (program, budget) and lowers the
+stream into a :class:`DecodedTrace` — parallel flat arrays holding, per
+dynamic instruction, the program counter, the next PC, the branch outcome,
+the effective memory address, and the pre-decoded timing attributes
+(classification flags, execution latency, functional-unit class ordinal,
+issue-queue tag, rename operand specs).  The per-cycle hot path in
+:mod:`repro.uarch.core` then *replays* these arrays by index: no
+interpreter dispatch, no attribute chains through
+``DynamicInstruction.static``, and no per-instruction object allocation
+remain on the timing loop.
+
+Three reuse tiers sit in front of the emulator:
+
+1. an **in-process memo** keyed by program identity and budget, so every
+   technique simulated against the same program object shares one
+   emulation (the (benchmark × technique) grid emulates each benchmark
+   once, not once per technique);
+2. an optional **on-disk cache** (:class:`TraceCache`), content-addressed
+   like :mod:`repro.harness.cache`: the key digests the program text, the
+   instruction budget and the emulator's own source bytes, so editing the
+   emulator (or regenerating a workload with different traits) can never
+   resurrect a stale trace.  Only the emulation *results* (pc, next_pc,
+   taken, mem_address) are persisted; the pre-decoded attributes are
+   recomputed from the program on load, which keeps the format small and
+   immune to decode-layer changes;
+3. **live emulation** (``live=True`` or the ``REPRO_LIVE_EMULATION``
+   environment variable), which bypasses both tiers and re-runs the
+   interpreter — the reference path the equivalence tests compare against.
+
+Module-level :data:`trace_events` counters record emulations, memo hits
+and disk hits/misses/stores so tests can assert that a warm cache skips
+re-emulation entirely.
+"""
+
+from __future__ import annotations
+
+import array
+import functools
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, default_latency, fu_class
+from repro.uarch.emulator import DynamicInstruction, FunctionalEmulator, ProgramLayout
+from repro.uarch.functional_units import FU_INDEX
+
+#: Bump when the on-disk payload layout changes.
+TRACE_FORMAT_VERSION = 1
+
+# Per-instruction classification flags (one byte per dynamic instruction).
+F_HINT = 1
+F_NOP = 2
+F_BRANCH = 4
+F_CALL = 8
+F_RET = 16
+F_LOAD = 32
+F_STORE = 64
+#: Any instruction that must consult the branch predictor at fetch.
+F_CONTROL = F_BRANCH | F_CALL | F_RET
+
+#: Counters for tests and reports: how often the emulator actually ran
+#: versus how often a decoded trace was reused.
+trace_events: dict[str, int] = {
+    "emulations": 0,
+    "memo_hits": 0,
+    "disk_hits": 0,
+    "disk_misses": 0,
+    "disk_stores": 0,
+}
+
+
+def reset_trace_events() -> None:
+    """Zero the :data:`trace_events` counters (test isolation)."""
+    for key in trace_events:
+        trace_events[key] = 0
+
+
+class DecodedTrace:
+    """The committed dynamic instruction stream as parallel flat arrays.
+
+    Every array has one element per committed dynamic instruction; the
+    sequence number *is* the index.  ``statics`` holds the unique static
+    :class:`~repro.isa.instruction.Instruction` objects (needed only off
+    the hot path: hint payloads and debugging), referenced through
+    ``static_idx``.
+
+    Attributes:
+        length: number of dynamic instructions.
+        pc / next_pc: instruction address and successor address.
+        taken: 1 when a control transfer was taken (bytearray).
+        mem_addr: effective address for loads/stores, 0 otherwise.
+        flags: per-instruction classification bits (``F_*`` constants).
+        latency: base execution latency in cycles (bytearray).
+        fu_idx: functional-unit class ordinal (``FU_ORDER`` index).
+        iq_tag: Extension/Improved issue-queue tag or None.
+        rename_specs: per-instruction shared tuples
+            ``(int_src_idx, fp_src_idx, int_dest_idx, fp_dest_idx)`` of
+            architectural register indices, precomputed per static
+            instruction so rename never touches ``Reg`` objects.
+    """
+
+    __slots__ = (
+        "length",
+        "statics",
+        "static_idx",
+        "pc",
+        "next_pc",
+        "taken",
+        "mem_addr",
+        "flags",
+        "latency",
+        "fu_idx",
+        "iq_tag",
+        "rename_specs",
+    )
+
+    def __init__(self) -> None:
+        self.length = 0
+        self.statics: list[Instruction] = []
+        self.static_idx: list[int] = []
+        self.pc: list[int] = []
+        self.next_pc: list[int] = []
+        self.taken = bytearray()
+        self.mem_addr: list[int] = []
+        self.flags = bytearray()
+        self.latency = bytearray()
+        self.fu_idx = bytearray()
+        self.iq_tag: list[Optional[int]] = []
+        self.rename_specs: list[tuple] = []
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _static_decode(instr: Instruction) -> tuple:
+        """Pre-decode one static instruction into hot-path attributes.
+
+        Returns ``(flags, latency, fu_ordinal, iq_tag, rename_spec)``.
+        """
+        opcode = instr.opcode
+        flags = 0
+        if instr.is_hint:
+            flags |= F_HINT
+        if opcode is Opcode.NOP:
+            flags |= F_NOP
+        if instr.is_branch:
+            flags |= F_BRANCH
+        if instr.is_call:
+            flags |= F_CALL
+        if instr.is_return:
+            flags |= F_RET
+        if instr.is_load:
+            flags |= F_LOAD
+        if instr.is_store:
+            flags |= F_STORE
+        int_srcs = tuple(reg.index for reg in instr.srcs if not reg.is_fp)
+        fp_srcs = tuple(reg.index for reg in instr.srcs if reg.is_fp)
+        int_dests = tuple(reg.index for reg in instr.dests if not reg.is_fp)
+        fp_dests = tuple(reg.index for reg in instr.dests if reg.is_fp)
+        return (
+            flags,
+            default_latency(opcode),
+            FU_INDEX[fu_class(opcode)],
+            instr.iq_tag,
+            (int_srcs, fp_srcs, int_dests, fp_dests),
+        )
+
+    @classmethod
+    def from_entries(
+        cls,
+        statics_per_entry: Iterable[Instruction],
+        pcs: list[int],
+        next_pcs: list[int],
+        takens: Iterable[int],
+        mem_addrs: list[int],
+    ) -> "DecodedTrace":
+        """Build a trace from per-entry statics plus emulation results."""
+        trace = cls()
+        index_of: dict[int, int] = {}
+        statics = trace.statics
+        static_idx = trace.static_idx
+        idx_append = static_idx.append
+        index_get = index_of.get
+        decoded: list[tuple] = []  # per unique static
+        static_decode = cls._static_decode
+        for instr in statics_per_entry:
+            key = id(instr)
+            sidx = index_get(key)
+            if sidx is None:
+                sidx = len(statics)
+                index_of[key] = sidx
+                statics.append(instr)
+                decoded.append(static_decode(instr))
+            idx_append(sidx)
+        # Scatter the per-static attributes per entry with C-level maps.
+        if decoded:
+            flags_by, lat_by, fu_by, tag_by, spec_by = zip(*decoded)
+            trace.flags = bytearray(map(flags_by.__getitem__, static_idx))
+            trace.latency = bytearray(map(lat_by.__getitem__, static_idx))
+            trace.fu_idx = bytearray(map(fu_by.__getitem__, static_idx))
+            trace.iq_tag = list(map(tag_by.__getitem__, static_idx))
+            trace.rename_specs = list(map(spec_by.__getitem__, static_idx))
+        trace.pc = list(pcs)
+        trace.next_pc = list(next_pcs)
+        trace.taken = bytearray(1 if t else 0 for t in takens)
+        trace.mem_addr = list(mem_addrs)
+        trace.length = len(trace.pc)
+        return trace
+
+    @classmethod
+    def from_dynamic_stream(
+        cls, dyns: Iterable[DynamicInstruction]
+    ) -> "DecodedTrace":
+        """Lower a :class:`DynamicInstruction` stream into flat arrays."""
+        statics: list[Instruction] = []
+        pcs: list[int] = []
+        next_pcs: list[int] = []
+        takens: list[int] = []
+        mems: list[int] = []
+        for dyn in dyns:
+            statics.append(dyn.static)
+            pcs.append(dyn.pc)
+            next_pcs.append(dyn.next_pc)
+            takens.append(1 if dyn.taken else 0)
+            mems.append(dyn.mem_address if dyn.mem_address is not None else 0)
+        return cls.from_entries(statics, pcs, next_pcs, takens, mems)
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=1)
+def _emulator_code_digest() -> str:
+    """Digest of every source module the emulated stream depends on.
+
+    The stored arrays are a function of the emulator's semantics — which
+    include the ISA definitions (opcodes, register constants, instruction
+    and program structure), not just ``emulator.py`` — and the decode
+    layer defines what the replay core reads back.  Any of them changing
+    must invalidate every persisted trace.
+    """
+    from repro.isa import instruction, opcodes, program, registers
+    from repro.uarch import emulator as emulator_module
+
+    digest = hashlib.sha256()
+    for module in (emulator_module, instruction, opcodes, program, registers):
+        digest.update(Path(module.__file__).read_bytes())
+    digest.update(Path(__file__).read_bytes())
+    return digest.hexdigest()
+
+
+def program_digest(program) -> str:
+    """SHA-256 over the program's full static content, in layout order.
+
+    Covers everything the emulator reads: procedure order and names,
+    library flags, block labels, and for every instruction the opcode,
+    operand registers, immediate, control targets, hint payload and
+    issue-queue tag.  Two programs with identical digests produce
+    identical dynamic streams under identical budgets.
+
+    Deliberately *not* memoised by object identity: programs may be
+    mutated in place between simulations (``build_benchmark(fresh=True)``
+    exists exactly for that), and an identity-keyed memo would keep
+    serving the pre-mutation digest.  The walk is linear in static size
+    and negligible next to a simulation.
+    """
+    digest = hashlib.sha256()
+    feed = digest.update
+    feed(repr(program.entry).encode())
+    for procedure in program.procedures.values():
+        feed(repr((procedure.name, procedure.is_library)).encode())
+        for block in procedure.blocks:
+            feed(repr(block.label).encode())
+            for instr in block.instructions:
+                feed(
+                    repr(
+                        (
+                            instr.opcode.value,
+                            tuple((r.index, r.is_fp) for r in instr.dests),
+                            tuple((r.index, r.is_fp) for r in instr.srcs),
+                            instr.imm,
+                            instr.target,
+                            instr.call_target,
+                            instr.hint_value,
+                            instr.iq_tag,
+                        )
+                    ).encode()
+                )
+    return digest.hexdigest()
+
+
+def _fingerprint_from_digest(digest: str, max_instructions: int) -> str:
+    payload = {
+        "format": TRACE_FORMAT_VERSION,
+        "emulator": _emulator_code_digest(),
+        "program": digest,
+        "max_instructions": max_instructions,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def trace_fingerprint(program, max_instructions: int) -> str:
+    """Content hash identifying one decoded trace (the disk-cache key)."""
+    return _fingerprint_from_digest(program_digest(program), max_instructions)
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+class TraceCache:
+    """One-file-per-trace binary cache of emulation results.
+
+    Stores only what the emulator produced (pc, next_pc, taken,
+    mem_address); static instructions are re-resolved from the program's
+    deterministic layout on load and the timing attributes re-decoded, so
+    the payload stays compact and decode-layer changes need no format
+    bump.  The file is a one-line JSON header followed by the raw
+    little-endian ``int64`` arrays — writing is a handful of
+    ``tobytes``/``write`` calls rather than tens of thousands of JSON
+    integer encodes, which matters because the store sits on the
+    cold-path of every first simulation.  Writes are atomic (temp file +
+    ``os.replace``), making one directory safe to share between
+    concurrent workers — the same discipline as
+    :class:`repro.harness.cache.ResultCache`.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.trace.bin"
+
+    def load(self, fingerprint: str, program) -> Optional[DecodedTrace]:
+        """Rebuild the decoded trace for ``fingerprint``, or None on a miss."""
+        try:
+            with open(self.path_for(fingerprint), "rb") as handle:
+                header_line = handle.readline()
+                header = json.loads(header_line)
+                if header.get("format") != TRACE_FORMAT_VERSION:
+                    raise ValueError("stale trace format")
+                length = header["length"]
+                pcs = array.array("q")
+                next_pcs = array.array("q")
+                mems = array.array("q")
+                pcs.frombytes(handle.read(8 * length))
+                next_pcs.frombytes(handle.read(8 * length))
+                mems.frombytes(handle.read(8 * length))
+                taken = bytearray(handle.read(length))
+                if (
+                    len(pcs) != length
+                    or len(next_pcs) != length
+                    or len(mems) != length
+                    or len(taken) != length
+                ):
+                    raise ValueError("truncated trace payload")
+                if header["byteorder"] != sys.byteorder:
+                    for arr in (pcs, next_pcs, mems):
+                        arr.byteswap()
+            # A stored pc that doesn't resolve to a static instruction of
+            # this program means corruption (or a fingerprint collision);
+            # the KeyError below treats it as a miss like any other
+            # malformed payload, forcing a clean re-emulation.
+            instr_by_pc = _instructions_by_pc(program)
+            trace = DecodedTrace.from_entries(
+                (instr_by_pc[pc] for pc in pcs),
+                list(pcs),
+                list(next_pcs),
+                taken,
+                list(mems),
+            )
+        except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError):
+            self.misses += 1
+            trace_events["disk_misses"] += 1
+            return None
+        self.hits += 1
+        trace_events["disk_hits"] += 1
+        return trace
+
+    def store(self, fingerprint: str, trace: DecodedTrace) -> Path:
+        """Atomically persist ``trace`` under ``fingerprint``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        header = {
+            "format": TRACE_FORMAT_VERSION,
+            "length": trace.length,
+            "byteorder": sys.byteorder,
+        }
+        path = self.path_for(fingerprint)
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".bin"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(json.dumps(header, separators=(",", ":")).encode())
+                handle.write(b"\n")
+                handle.write(array.array("q", trace.pc).tobytes())
+                handle.write(array.array("q", trace.next_pc).tobytes())
+                handle.write(array.array("q", trace.mem_addr).tobytes())
+                handle.write(bytes(trace.taken))
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stores += 1
+        trace_events["disk_stores"] += 1
+        return path
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(
+            1
+            for path in self.directory.glob("*.trace.bin")
+            if not path.name.startswith(".")
+        )
+
+
+def _instructions_by_pc(program) -> dict[int, Instruction]:
+    """Map every static instruction's layout PC back to the instruction.
+
+    The layout is deterministic for a given program, so the PCs stored on
+    disk resolve to the same statics in any process — unlike instruction
+    ``uid``s, which are assigned by a process-local counter.
+    """
+    layout = ProgramLayout.for_program(program)
+    by_uid: dict[int, Instruction] = {}
+    for procedure in program.procedures.values():
+        for block in procedure.blocks:
+            for instr in block.instructions:
+                by_uid[instr.uid] = instr
+    return {pc: by_uid[uid] for uid, pc in layout.instruction_pc.items()}
+
+
+# ----------------------------------------------------------------------
+# Front door
+# ----------------------------------------------------------------------
+def emulate_trace(program, max_instructions: int) -> DecodedTrace:
+    """Run the functional emulator and lower its stream (always live)."""
+    trace_events["emulations"] += 1
+    emulator = FunctionalEmulator(program)
+    statics, pcs, next_pcs, takens, mems = emulator.run_collect(max_instructions)
+    return DecodedTrace.from_entries(
+        statics,
+        pcs,
+        next_pcs,
+        takens,
+        [mem if mem is not None else 0 for mem in mems],
+    )
+
+
+#: In-process memo of decoded traces, keyed by (program content digest,
+#: budget) so in-place program mutation can never resurface a stale
+#: trace.  Bounded: decoded traces are large, and a long-lived grid run
+#: touches many (program, budget) pairs exactly once each after warm-up.
+_MEMO_CAPACITY = 8
+_trace_memo: "OrderedDict[tuple[str, int], DecodedTrace]" = OrderedDict()
+
+
+def clear_trace_memo() -> None:
+    """Drop every memoised decoded trace (test isolation)."""
+    _trace_memo.clear()
+
+
+def get_decoded_trace(
+    program,
+    max_instructions: int,
+    cache: Optional[TraceCache] = None,
+    live: Optional[bool] = None,
+) -> DecodedTrace:
+    """The decoded trace for (program, budget), reusing every tier allowed.
+
+    Args:
+        program: the IR program to (re)emulate.
+        max_instructions: dynamic instruction budget.
+        cache: optional on-disk :class:`TraceCache`.
+        live: force a fresh emulation, bypassing the memo and the disk
+            cache (the reference path).  Defaults to the
+            ``REPRO_LIVE_EMULATION`` environment variable; an explicit
+            ``False`` overrides the variable.
+    """
+    if live is None:
+        live = bool(os.environ.get("REPRO_LIVE_EMULATION"))
+    if live:
+        return emulate_trace(program, max_instructions)
+    digest = program_digest(program)
+    key = (digest, max_instructions)
+    hit = _trace_memo.get(key)
+    if hit is not None:
+        trace_events["memo_hits"] += 1
+        _trace_memo.move_to_end(key)
+        return hit
+    trace: Optional[DecodedTrace] = None
+    if cache is not None:
+        fingerprint = _fingerprint_from_digest(digest, max_instructions)
+        trace = cache.load(fingerprint, program)
+    if trace is None:
+        trace = emulate_trace(program, max_instructions)
+        if cache is not None:
+            cache.store(fingerprint, trace)
+    _trace_memo[key] = trace
+    while len(_trace_memo) > _MEMO_CAPACITY:
+        _trace_memo.popitem(last=False)
+    return trace

@@ -1,0 +1,244 @@
+"""Tests for the trace pre-decode & replay subsystem.
+
+Three families:
+
+* **Equivalence** — the statistics of a run must not depend on how the
+  decoded trace was obtained: live emulation, the in-process memo, or a
+  round-trip through the on-disk :class:`~repro.uarch.trace.TraceCache`
+  must all produce byte-identical :class:`SimulationStats`, across every
+  technique policy and structurally different workloads.
+* **Invalidation** — the trace fingerprint must move whenever anything
+  that can change the committed stream moves: workload traits, the
+  instruction budget, or the emulator's own source digest.
+* **Reuse** — a (benchmark × technique) grid emulates each distinct
+  program once; with a warm on-disk trace cache, a fresh process-like
+  runner re-times cells without re-emulating at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import CompilerConfig, compile_program
+from repro.harness import ParallelSuiteRunner, RunConfig
+from repro.harness.cache import ResultCache, stats_to_dict
+from repro.techniques import (
+    AbellaPolicy,
+    BaselinePolicy,
+    NonEmptyPolicy,
+    SoftwareDirectedPolicy,
+)
+from repro.uarch import TraceCache, simulate
+from repro.uarch.trace import (
+    clear_trace_memo,
+    get_decoded_trace,
+    reset_trace_events,
+    trace_events,
+    trace_fingerprint,
+)
+from repro.workloads import ALL_TRAITS, build_benchmark, generate_program
+
+MAX_INSTRUCTIONS = 3_000
+WORKLOADS = ("gzip", "branchstorm", "fpstream")
+
+
+def _policy(technique: str):
+    if technique == "baseline":
+        return BaselinePolicy()
+    if technique == "nonempty":
+        return NonEmptyPolicy()
+    if technique == "abella":
+        return AbellaPolicy(interval_cycles=256)
+    return SoftwareDirectedPolicy(variant=technique)
+
+
+def _program(benchmark: str, technique: str):
+    if technique in ("noop", "extension", "improved"):
+        result = compile_program(
+            build_benchmark(benchmark), CompilerConfig(), mode=technique
+        )
+        return result.instrumented_program
+    return build_benchmark(benchmark)
+
+
+def _stats_bytes(stats) -> bytes:
+    return json.dumps(stats_to_dict(stats), sort_keys=True).encode()
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize(
+        "technique",
+        ("baseline", "nonempty", "abella", "noop", "extension", "improved"),
+    )
+    def test_live_memo_and_disk_paths_are_byte_identical(
+        self, workload, technique, tmp_path
+    ):
+        program = _program(workload, technique)
+        kwargs = dict(max_instructions=MAX_INSTRUCTIONS, warmup_instructions=500)
+
+        clear_trace_memo()
+        live = simulate(program, _policy(technique), live_emulation=True, **kwargs)
+
+        # First cached call: emulates once, stores to disk, memoises.
+        cache_dir = tmp_path / "traces"
+        stored = simulate(
+            program, _policy(technique), trace_cache=str(cache_dir), **kwargs
+        )
+        # Second call with a cold memo: must come back from disk.
+        clear_trace_memo()
+        reset_trace_events()
+        replayed = simulate(
+            program, _policy(technique), trace_cache=str(cache_dir), **kwargs
+        )
+        assert trace_events["emulations"] == 0
+        assert trace_events["disk_hits"] == 1
+
+        assert _stats_bytes(live) == _stats_bytes(stored) == _stats_bytes(replayed)
+
+    def test_in_place_program_mutation_reemulates(self):
+        """The memo keys on program *content*, not object identity, so
+        mutating a ``fresh=True`` program between runs must re-emulate."""
+        program = build_benchmark("gzip", fresh=True)
+        simulate(program, BaselinePolicy(), max_instructions=1_500)
+        instr = next(iter(program.procedures.values())).blocks[0].instructions[0]
+        instr.imm += 7
+        mutated = simulate(program, BaselinePolicy(), max_instructions=1_500)
+        clear_trace_memo()
+        live = simulate(
+            program, BaselinePolicy(), max_instructions=1_500, live_emulation=True
+        )
+        assert _stats_bytes(mutated) == _stats_bytes(live)
+
+    def test_warmup_run_is_identical_across_paths(self, tmp_path):
+        """The warm-up clock rebase must survive the replay path too."""
+        program = build_benchmark("gzip")
+        kwargs = dict(max_instructions=4_000, warmup_instructions=2_000)
+        clear_trace_memo()
+        live = simulate(program, BaselinePolicy(), live_emulation=True, **kwargs)
+        via_cache = simulate(
+            program, BaselinePolicy(), trace_cache=str(tmp_path), **kwargs
+        )
+        assert _stats_bytes(live) == _stats_bytes(via_cache)
+        assert live.committed_instructions == 2_000
+
+
+class TestTraceFingerprint:
+    def test_changing_traits_changes_the_fingerprint(self):
+        base = build_benchmark("gzip")
+        tweaked_traits = dataclasses.replace(ALL_TRAITS["gzip"], seed=999_999)
+        tweaked = generate_program(tweaked_traits)
+        assert trace_fingerprint(base, 1_000) != trace_fingerprint(tweaked, 1_000)
+
+    def test_changing_budget_changes_the_fingerprint(self):
+        program = build_benchmark("gzip")
+        assert trace_fingerprint(program, 1_000) != trace_fingerprint(program, 2_000)
+
+    def test_changing_emulator_digest_misses_the_cache(self, tmp_path, monkeypatch):
+        program = build_benchmark("gzip")
+        cache = TraceCache(tmp_path)
+        clear_trace_memo()
+        get_decoded_trace(program, 1_000, cache=cache)
+        assert cache.stores == 1
+
+        import repro.uarch.trace as trace_module
+
+        monkeypatch.setattr(
+            trace_module, "_emulator_code_digest", lambda: "0" * 64
+        )
+        clear_trace_memo()
+        reset_trace_events()
+        get_decoded_trace(program, 1_000, cache=cache)
+        # The edited-emulator fingerprint cannot resurrect the old trace.
+        assert trace_events["disk_hits"] == 0
+        assert trace_events["emulations"] == 1
+
+    def test_instrumented_programs_have_distinct_fingerprints(self):
+        plain = build_benchmark("gzip")
+        hinted = _program("gzip", "noop")
+        assert trace_fingerprint(plain, 1_000) != trace_fingerprint(hinted, 1_000)
+
+
+class TestGridReuse:
+    CONFIG = dict(
+        benchmarks=("gzip", "branchstorm"),
+        max_instructions=2_000,
+        warmup_instructions=500,
+    )
+    TECHNIQUES = ("baseline", "nonempty")
+
+    def test_grid_emulates_each_benchmark_once(self, tmp_path):
+        clear_trace_memo()
+        reset_trace_events()
+        runner = ParallelSuiteRunner(
+            RunConfig(**self.CONFIG), workers=1, cache_dir=str(tmp_path)
+        )
+        runner.run_suite(techniques=self.TECHNIQUES)
+        assert runner.simulations_run == 4
+        # baseline and nonempty share each benchmark's uninstrumented
+        # program, so two benchmarks cost exactly two emulations.
+        assert trace_events["emulations"] == 2
+
+    def test_warm_trace_cache_skips_reemulation_entirely(self, tmp_path):
+        clear_trace_memo()
+        first = ParallelSuiteRunner(
+            RunConfig(**self.CONFIG), workers=1, cache_dir=str(tmp_path)
+        )
+        first_results = first.run_suite(techniques=self.TECHNIQUES)
+
+        # Drop the result cells but keep the decoded traces, as a second
+        # host sharing only the trace directory would see.
+        for path in first.cache._entry_paths():
+            path.unlink()
+        clear_trace_memo()
+        reset_trace_events()
+        second = ParallelSuiteRunner(
+            RunConfig(**self.CONFIG), workers=1, cache_dir=str(tmp_path)
+        )
+        second_results = second.run_suite(techniques=self.TECHNIQUES)
+
+        assert second.simulations_run == 4  # cells really were re-timed
+        assert trace_events["emulations"] == 0  # ...without re-emulating
+        assert second.trace_cache.hits == 2
+        for key, result in first_results.items():
+            assert _stats_bytes(result.stats) == _stats_bytes(
+                second_results[key].stats
+            )
+
+
+class TestResultCacheHygiene:
+    def test_lru_pruning_keeps_most_recent_cells(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path, max_entries=3)
+        stats = simulate(build_benchmark("gzip"), max_instructions=500)
+        for index in range(5):
+            fingerprint = f"{index:064x}"
+            path = cache.store(fingerprint, stats)
+            # Deterministic, strictly increasing recency without sleeping;
+            # all stamps sit in the past so a freshly stored cell is never
+            # the pruning victim.
+            stamp = time.time() - 100 + index
+            os.utime(path, (stamp, stamp))
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        survivors = {path.name for path in cache._entry_paths()}
+        assert survivors == {f"{index:064x}.json" for index in (2, 3, 4)}
+
+    def test_cache_stats_reports_traffic_and_size(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=10)
+        stats = simulate(build_benchmark("gzip"), max_instructions=500)
+        cache.store("a" * 64, stats)
+        assert cache.load("a" * 64) is not None
+        assert cache.load("b" * 64) is None
+        report = cache.cache_stats()
+        assert report["entries"] == 1
+        assert report["total_bytes"] > 0
+        assert report["hits"] == 1
+        assert report["misses"] == 1
+        assert report["stores"] == 1
+        assert report["max_entries"] == 10
