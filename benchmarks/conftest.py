@@ -12,9 +12,14 @@ the on-disk result cache under ``benchmarks/.figure-cache`` — so re-runs
 with unchanged configuration skip simulation entirely.  Delete that
 directory (or change any configuration input) to force re-simulation.
 
-The instruction budget below is the compromise between fidelity and the
-runtime of a pure-Python cycle-level simulator; raise it (e.g. to 100k+)
-for a higher-fidelity reproduction run.
+The instruction budget is 100k instructions (20k warm-up) per cell:
+windowed trace replay (:mod:`repro.uarch.trace`) streams each
+benchmark's pre-decoded stream in ~16k-instruction windows, so decode
+memory no longer grows with the budget and the figure suite runs at a
+meaningfully higher fidelity than the earlier 16k-instruction compromise
+(figure 6's SPECINT noop loss re-anchors against the paper's 2.2% at
+this budget).  A cold grid takes a few minutes of simulation on one
+core; re-runs with unchanged configuration load from the cache instead.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ CACHE_DIR = Path(__file__).parent / ".figure-cache"
 @pytest.fixture(scope="session")
 def runner(suite_workers) -> ParallelSuiteRunner:
     runner = ParallelSuiteRunner(
-        RunConfig(max_instructions=16_000, warmup_instructions=4_000),
+        RunConfig(max_instructions=100_000, warmup_instructions=20_000),
         workers=suite_workers,
         cache_dir=str(CACHE_DIR),
     )

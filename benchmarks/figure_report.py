@@ -40,11 +40,21 @@ def print_cache_stats(runner) -> None:
             f"[{stats['directory']}]"
         )
     if runner.trace_cache is not None:
-        cache = runner.trace_cache
+        stats = runner.trace_cache.cache_stats()
+        cap = (
+            f"{stats['max_bytes'] / 1024:.0f} KiB"
+            if stats["max_bytes"] is not None
+            else "unbounded"
+        )
+        # Workers ship their counter deltas back with each job result and
+        # the runner folds them in, so these totals are exact for any
+        # worker count.
         print(
-            f"trace cache: {len(cache)} traces — "
-            f"{cache.hits} hits / {cache.misses} misses / {cache.stores} stores "
-            f"[{cache.directory}]"
+            f"trace cache: {stats['traces']} traces "
+            f"({stats['total_bytes'] / 1024:.1f} KiB, cap {cap}) — "
+            f"{stats['hits']} hits / {stats['misses']} misses / "
+            f"{stats['stores']} stores / {stats['evictions']} evictions "
+            f"[{stats['directory']}]"
         )
     events = trace_events
     print(
@@ -52,13 +62,12 @@ def print_cache_stats(runner) -> None:
         f"(memo hits {events['memo_hits']}, disk hits {events['disk_hits']})"
     )
     if runner.workers > 1:
-        # Pool workers run simulations in their own processes, so their
-        # trace-cache hit/miss/emulation counters never reach this one;
-        # only the on-disk trace count above is ground truth.  Re-run
-        # with --workers 1 for exact per-run traffic counters.
+        # Unlike the folded trace-cache counters above, the module-level
+        # trace_events live in each worker process; emulation/memo work
+        # done in the pool is invisible here.
         print(
-            f"(note: {runner.workers} workers — trace-cache traffic counters "
-            f"are per-process; run --workers 1 for exact counts)"
+            f"(note: {runner.workers} workers — emulation/memo counters are "
+            f"per-process; the folded trace-cache line above is exact)"
         )
 
 
@@ -80,9 +89,22 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="print result-cache and trace-cache size/traffic reports",
     )
+    parser.add_argument(
+        "--max-trace-bytes",
+        type=int,
+        default=None,
+        help="LRU byte cap for the decoded-trace cache (default: unbounded)",
+    )
+    parser.add_argument(
+        "--trace-window",
+        type=int,
+        default=None,
+        help="decoded-trace window size in instructions (default: "
+        "REPRO_TRACE_WINDOW or ~16k; 0 forces monolithic decode)",
+    )
     parser.add_argument("--workers", type=int, default=None, help="pool size")
-    parser.add_argument("--max-instructions", type=int, default=16_000)
-    parser.add_argument("--warmup-instructions", type=int, default=4_000)
+    parser.add_argument("--max-instructions", type=int, default=100_000)
+    parser.add_argument("--warmup-instructions", type=int, default=20_000)
     parser.add_argument(
         "--benchmarks",
         nargs="*",
@@ -105,6 +127,8 @@ def main(argv: list[str] | None = None) -> None:
         workers=args.workers,
         cache_dir=args.cache_dir,
         cache_max_entries=args.cache_max_entries,
+        trace_cache_max_bytes=args.max_trace_bytes,
+        trace_window=args.trace_window,
     )
     runner.run_suite()
     if runner.cache is not None:

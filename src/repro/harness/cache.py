@@ -161,12 +161,33 @@ class ResultCache:
         return self.directory / f"{fingerprint}.json"
 
     def load(self, fingerprint: str) -> Optional[SimulationStats]:
-        """Return the cached stats for ``fingerprint``, or None on a miss."""
+        """Return the cached stats for ``fingerprint``, or None on a miss.
+
+        A malformed payload — valid JSON missing the ``"stats"`` key or
+        the ``"format"`` marker every store writes (a foreign or
+        truncated-then-rewritten file sharing the directory), or a
+        ``"stats"`` value that isn't a counter mapping — counts as a
+        miss and forces a clean re-simulation, exactly like a missing or
+        unparsable file.  Corruption must never crash a run.
+        """
         path = self.path_for(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+            if payload.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("foreign or stale cache payload")
+            counters = payload["stats"]
+            if not isinstance(counters, dict):
+                raise ValueError("stats payload is not a counter mapping")
+            stats = stats_from_dict(counters)
+        except (
+            FileNotFoundError,
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            AttributeError,
+        ):
             self.misses += 1
             return None
         self.hits += 1
@@ -174,7 +195,7 @@ class ResultCache:
             os.utime(path)  # refresh LRU recency
         except OSError:  # pragma: no cover - concurrent eviction
             pass
-        return stats_from_dict(payload["stats"])
+        return stats
 
     def store(
         self,

@@ -45,12 +45,19 @@ Semantics:
   ``traces/`` subdirectory of ``cache_dir`` (override with
   ``trace_cache_dir``) holds each benchmark's pre-decoded dynamic stream
   (:mod:`repro.uarch.trace`), keyed by program content + budget +
-  emulator source.  A result-cache miss that only changed the technique
-  or the processor/energy configuration re-times the benchmark without
-  re-emulating it, in-process and across pool workers.
-* **Bounding** — pass ``cache_max_entries`` to cap the result cache;
-  stores prune least-recently-used cells (hits refresh recency via file
-  mtimes, so the bound holds across processes sharing the directory).
+  emulator source and stored in independently loadable windows.  A
+  result-cache miss that only changed the technique or the
+  processor/energy configuration re-times the benchmark without
+  re-emulating it, in-process and across pool workers.  Budgets above
+  the trace window (``trace_window``; default ~16k instructions) replay
+  window by window with decode memory bounded by the window size.
+  Workers return their trace-cache hit/miss/store counter deltas with
+  each job result and the runner folds them into its own
+  ``trace_cache``, so traffic reports are exact for any worker count.
+* **Bounding** — pass ``cache_max_entries`` to cap the result cache and
+  ``trace_cache_max_bytes`` to cap the trace directory; stores prune
+  least-recently-used entries (hits refresh recency via file mtimes, so
+  the bounds hold across processes sharing the directory).
 """
 
 from __future__ import annotations
@@ -81,14 +88,20 @@ class SimulationJob:
     """Picklable description of one (benchmark, technique) simulation.
 
     ``trace_cache_dir`` names the shared on-disk decoded-trace cache (see
-    :mod:`repro.uarch.trace`); it is transport, not identity, so it does
-    not participate in :meth:`fingerprint`.
+    :mod:`repro.uarch.trace`), ``trace_cache_max_bytes`` its LRU byte
+    cap, and ``trace_window`` the decoded-trace window size threaded into
+    the replay core (None: library default).  All three are transport,
+    not identity — replay statistics are bit-identical for every window
+    size and cache setting — so none participates in
+    :meth:`fingerprint`.
     """
 
     benchmark: str
     technique: str
     config: RunConfig
     trace_cache_dir: Optional[str] = None
+    trace_window: Optional[int] = None
+    trace_cache_max_bytes: Optional[int] = None
 
     def fingerprint(self) -> str:
         """Content hash of the job's full input set (see :mod:`.cache`)."""
@@ -106,15 +119,19 @@ class SimulationJob:
 
 
 def run_simulation_job(job: SimulationJob, program=None, trace_cache=None) -> dict:
-    """Execute one grid cell and return its statistics as a plain dict.
+    """Execute one grid cell; return ``{"stats": ..., "trace_cache": ...}``.
 
     Runs inside pool workers, so it takes and returns only picklable
-    values; the dict form is also exactly what the disk cache stores.
-    The in-process path passes ``program`` from the runner's compilation
-    memo so software-technique cells are not compiled twice, and
-    ``trace_cache`` (a live :class:`~repro.uarch.trace.TraceCache`) so
-    trace-cache hit counters aggregate on the runner; workers fall back
-    to ``job.trace_cache_dir``.
+    values.  The in-process path passes ``program`` from the runner's
+    compilation memo so software-technique cells are not compiled twice,
+    and ``trace_cache`` (the runner's live
+    :class:`~repro.uarch.trace.TraceCache`) so trace-cache traffic
+    accumulates there directly; pool workers instead build a private
+    ``TraceCache`` over ``job.trace_cache_dir`` and ship its counter
+    deltas back under the ``"trace_cache"`` key, which the runner folds
+    into its own cache — without this, every hit/miss/store observed in
+    a worker process would be silently dropped and ``--cache-stats``
+    would underreport traffic on parallel runs.
     """
     config = job.config
     policy = make_policy(job.technique, config)
@@ -126,15 +143,29 @@ def run_simulation_job(job: SimulationJob, program=None, trace_cache=None) -> di
             program = compilation.instrumented_program
         else:
             program = build_benchmark(job.benchmark)
+    local_cache = trace_cache
+    if local_cache is None and job.trace_cache_dir is not None:
+        local_cache = TraceCache(
+            job.trace_cache_dir, max_bytes=job.trace_cache_max_bytes
+        )
     stats = simulate(
         program,
         policy,
         config=config.processor_config,
         max_instructions=config.max_instructions,
         warmup_instructions=config.warmup_instructions,
-        trace_cache=trace_cache if trace_cache is not None else job.trace_cache_dir,
+        trace_cache=local_cache,
+        trace_window=job.trace_window,
     )
-    return stats_to_dict(stats)
+    payload: dict = {"stats": stats_to_dict(stats)}
+    if local_cache is not None and local_cache is not trace_cache:
+        payload["trace_cache"] = {
+            "hits": local_cache.hits,
+            "misses": local_cache.misses,
+            "stores": local_cache.stores,
+            "evictions": local_cache.evictions,
+        }
+    return payload
 
 
 class ParallelSuiteRunner(SuiteRunner):
@@ -153,6 +184,8 @@ class ParallelSuiteRunner(SuiteRunner):
         cache_dir: Optional[str] = None,
         cache_max_entries: Optional[int] = None,
         trace_cache_dir: Optional[str] = None,
+        trace_cache_max_bytes: Optional[int] = None,
+        trace_window: Optional[int] = None,
     ):
         super().__init__(config)
         if workers is None:
@@ -173,16 +206,41 @@ class ParallelSuiteRunner(SuiteRunner):
         if trace_cache_dir is None and cache_dir is not None:
             trace_cache_dir = str(Path(cache_dir) / "traces")
         self.trace_cache_dir = trace_cache_dir
+        self.trace_cache_max_bytes = trace_cache_max_bytes
         self.trace_cache = (
-            TraceCache(trace_cache_dir) if trace_cache_dir is not None else None
+            TraceCache(trace_cache_dir, max_bytes=trace_cache_max_bytes)
+            if trace_cache_dir is not None
+            else None
         )
+        self.trace_window = trace_window
         self.simulations_run = 0
 
     # ------------------------------------------------------------------
     def _job(self, benchmark: str, technique: str) -> SimulationJob:
         return SimulationJob(
-            benchmark, technique, self.config, trace_cache_dir=self.trace_cache_dir
+            benchmark,
+            technique,
+            self.config,
+            trace_cache_dir=self.trace_cache_dir,
+            trace_window=self.trace_window,
+            trace_cache_max_bytes=self.trace_cache_max_bytes,
         )
+
+    def _fold_trace_counters(self, payload: dict) -> None:
+        """Fold a worker's trace-cache counter deltas into the runner's.
+
+        The in-process path simulates against ``self.trace_cache``
+        directly (no ``"trace_cache"`` key in the payload), so nothing is
+        ever double counted.
+        """
+        deltas = payload.get("trace_cache")
+        if deltas is None or self.trace_cache is None:
+            return
+        cache = self.trace_cache
+        cache.hits += deltas["hits"]
+        cache.misses += deltas["misses"]
+        cache.stores += deltas["stores"]
+        cache.evictions += deltas["evictions"]
 
     def result(self, benchmark: str, technique: str) -> BenchmarkResult:
         """One cell, consulting memory first, then disk, then simulating."""
@@ -192,9 +250,9 @@ class ParallelSuiteRunner(SuiteRunner):
         job = self._job(benchmark, technique)
         stats = self._cached_stats(job)
         if stats is None:
-            stats = stats_from_dict(
-                run_simulation_job(job, self._program_for(job), self.trace_cache)
-            )
+            payload = run_simulation_job(job, self._program_for(job), self.trace_cache)
+            self._fold_trace_counters(payload)
+            stats = stats_from_dict(payload["stats"])
             self.simulations_run += 1
             self._store(job, stats)
         result = self._build_result(job, stats)
@@ -242,7 +300,8 @@ class ParallelSuiteRunner(SuiteRunner):
                     payloads = list(pool.map(run_simulation_job, pending))
             self.simulations_run += len(pending)
             for job, payload in zip(pending, payloads):
-                stats = stats_from_dict(payload)
+                self._fold_trace_counters(payload)
+                stats = stats_from_dict(payload["stats"])
                 self._store(job, stats)
                 stats_by_key[(job.benchmark, job.technique)] = stats
 

@@ -23,6 +23,16 @@ index.  Decoded traces are memoised in-process and may be cached on disk
 text + budget + emulator source digest), so a (benchmark × technique)
 grid emulates each benchmark once, not once per technique.
 
+Instruction budgets above the decoded-trace window size (default
+:data:`~repro.uarch.config.DEFAULT_TRACE_WINDOW_ENTRIES`, ~16k) stream:
+the emulator's output is lowered into fixed-size windows
+(:class:`~repro.uarch.trace.TraceWindowStream`), the disk cache stores
+them independently addressable under one fingerprint, and the core
+replays window by window with microarchitectural state carried across
+boundaries — statistics are bit-identical to a monolithic replay while
+peak decoded-trace memory stays bounded by the window size, which is
+what makes 100k+ instruction budgets practical.
+
 To force live emulation (bypassing the memo and the disk cache) pass
 ``live_emulation=True`` to :func:`~repro.uarch.core.simulate`, or set the
 ``REPRO_LIVE_EMULATION`` environment variable; the result is statistically
@@ -44,13 +54,21 @@ Main entry points:
   decoded trace, the core, a policy and the statistics together.
 """
 
-from repro.uarch.config import ProcessorConfig
+from repro.uarch.config import DEFAULT_TRACE_WINDOW_ENTRIES, ProcessorConfig
 from repro.uarch.emulator import DynamicInstruction, EmulationLimitExceeded, FunctionalEmulator
 from repro.uarch.stats import SimulationStats
-from repro.uarch.trace import DecodedTrace, TraceCache, get_decoded_trace, trace_events
+from repro.uarch.trace import (
+    DecodedTrace,
+    TraceCache,
+    TraceWindowStream,
+    get_decoded_trace,
+    get_trace_stream,
+    trace_events,
+)
 from repro.uarch.core import OutOfOrderCore, simulate
 
 __all__ = [
+    "DEFAULT_TRACE_WINDOW_ENTRIES",
     "ProcessorConfig",
     "DynamicInstruction",
     "EmulationLimitExceeded",
@@ -58,7 +76,9 @@ __all__ = [
     "SimulationStats",
     "DecodedTrace",
     "TraceCache",
+    "TraceWindowStream",
     "get_decoded_trace",
+    "get_trace_stream",
     "trace_events",
     "OutOfOrderCore",
     "simulate",

@@ -11,6 +11,17 @@ from dataclasses import dataclass, field
 
 from repro.isa.opcodes import FuClass
 
+#: Default decoded-trace window size, in dynamic instructions, for the
+#: streaming replay path (:mod:`repro.uarch.trace`).  Budgets at or below
+#: this size replay monolithically; larger budgets are lowered window by
+#: window so peak decoded-trace memory is bounded by the window, not the
+#: instruction budget.  A transport/memory knob only: simulation
+#: statistics are bit-identical for every window size (including 1), so it
+#: never participates in cache fingerprints.  Override per run via the
+#: ``trace_window`` arguments or the ``REPRO_TRACE_WINDOW`` environment
+#: variable.
+DEFAULT_TRACE_WINDOW_ENTRIES = 16_384
+
 
 @dataclass
 class CacheConfig:

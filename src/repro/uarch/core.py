@@ -6,15 +6,24 @@ this core times it through fetch, decode, rename/dispatch, issue, execute,
 writeback and commit, modelling the issue queue, reorder buffer, physical
 register files, functional units, caches and branch prediction.
 
-The core is a **replay engine**: it consumes a
-:class:`~repro.uarch.trace.DecodedTrace` — the committed stream lowered
-into flat, pre-decoded arrays — and walks it by index.  Functional
+The core is a **replay engine**: it consumes the committed stream lowered
+into flat, pre-decoded arrays and walks it by index.  Functional
 emulation happens exactly once per (program, budget) in
 :mod:`repro.uarch.trace` (memoised in-process and optionally cached on
 disk), so the per-cycle hot path performs no interpreter dispatch, no
 ``DynamicInstruction`` attribute chains and no per-instruction object
-allocation.  Passing a plain iterable of ``DynamicInstruction`` still
-works: it is lowered into a ``DecodedTrace`` on construction.
+allocation.  The feed is a
+:class:`~repro.uarch.trace.TraceWindowStream` — consecutive
+:class:`~repro.uarch.trace.DecodedTrace` windows consumed forward-only.
+Only the fetch and dispatch stages index trace arrays (issue and later
+stages read timing attributes copied onto the ROB entry at dispatch), so
+the core holds exactly the windows spanning its fetch queue: fetch pulls
+the next window in as it crosses a boundary, dispatch releases a window
+once every entry in it has been consumed, and
+``max_resident_windows`` records the high-water count.  Statistics are
+bit-identical for every window size, including a monolithic single
+window.  Passing a ``DecodedTrace`` (single window) or a plain iterable
+of ``DynamicInstruction`` (lowered on construction) still works.
 
 Deviation from an execute-driven simulator (documented in DESIGN.md): the
 wrong path after a branch misprediction is not fetched; instead the front
@@ -44,7 +53,6 @@ not against the object-based component API.
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from typing import Iterable, Optional, Union
 
@@ -69,7 +77,8 @@ from repro.uarch.trace import (
     F_RET,
     F_STORE,
     TraceCache,
-    get_decoded_trace,
+    TraceWindowStream,
+    get_trace_stream,
 )
 
 
@@ -78,7 +87,9 @@ class OutOfOrderCore:
 
     def __init__(
         self,
-        trace: Union[DecodedTrace, Iterable[DynamicInstruction]],
+        trace: Union[
+            TraceWindowStream, DecodedTrace, Iterable[DynamicInstruction]
+        ],
         config: Optional[ProcessorConfig] = None,
         policy=None,
         warmup_instructions: int = 0,
@@ -94,9 +105,32 @@ class OutOfOrderCore:
         self.warmup_instructions = warmup_instructions
         self.max_cycles = max_cycles
 
-        if not isinstance(trace, DecodedTrace):
-            trace = DecodedTrace.from_dynamic_stream(trace)
-        self._trace = trace
+        if isinstance(trace, TraceWindowStream):
+            stream = trace
+        elif isinstance(trace, DecodedTrace):
+            stream = TraceWindowStream.single(trace)
+        else:
+            stream = TraceWindowStream.single(
+                DecodedTrace.from_dynamic_stream(trace)
+            )
+        self._stream = stream
+        first = stream.next_window()
+        if first is None:
+            first = DecodedTrace()
+        # Window state.  Dispatch trails fetch, so the resident windows
+        # are exactly [dispatch window .. fetch window]; ``_win_queue``
+        # holds those strictly ahead of dispatch, in trace order.  Fetch
+        # appends as it crosses a boundary; dispatch pops (releasing the
+        # window it just drained) — peak decoded-trace memory is bounded
+        # by the fetch-queue span, recorded in ``max_resident_windows``.
+        self._win_queue: deque[DecodedTrace] = deque()
+        self._f_trace = first
+        self._f_base = 0
+        self._f_limit = first.length
+        self._d_trace = first
+        self._d_base = 0
+        self._d_limit = first.length
+        self.max_resident_windows = 1
         self._trace_pos = 0
         self._trace_exhausted = False
 
@@ -360,9 +394,6 @@ class OutOfOrderCore:
         iq_entry_by_rob = self._iq_entry_by_rob
         rob_entries = self.rob.entries
         completion_events = self._completion_events
-        trace = self._trace
-        flags_arr = trace.flags
-        lat_arr = trace.latency
         rf_reads = 0
         for age in sorted(ready_map):
             if issued >= width:
@@ -401,12 +432,16 @@ class OutOfOrderCore:
             for tag in rob_entry.source_tags:
                 if tag < int_phys:
                     rf_reads += 1
-            index = rob_entry.dyn
-            flags = flags_arr[index]
+            # Timing attributes were copied onto the ROB entry at
+            # dispatch, so issue never indexes the (possibly released)
+            # trace window.
+            flags = rob_entry.flags
             if flags & (F_LOAD | F_STORE):
-                latency = self._memory_latency(index, flags, lat_arr[index])
+                latency = self._memory_latency(
+                    rob_entry.mem_addr, flags, rob_entry.latency
+                )
             else:
-                latency = lat_arr[index]
+                latency = rob_entry.latency
             finish = cycle + (latency if latency > 1 else 1)
             events = completion_events.get(finish)
             if events is None:
@@ -424,11 +459,9 @@ class OutOfOrderCore:
                 stats.iq_issue_reads += issued
                 stats.rf_reads += rf_reads
 
-    def _memory_latency(self, index: int, flags: int, base_latency: int) -> int:
-        """Data-cache access latency for the load/store at ``index``."""
-        latency, l1_hit, l2_hit = self.memory.data_access_fast(
-            self._trace.mem_addr[index]
-        )
+    def _memory_latency(self, mem_addr: int, flags: int, base_latency: int) -> int:
+        """Data-cache access latency for a load/store at ``mem_addr``."""
+        latency, l1_hit, l2_hit = self.memory.data_access_fast(mem_addr)
         if flags & F_LOAD:
             if self._warmup_done:
                 stats = self.stats
@@ -453,11 +486,15 @@ class OutOfOrderCore:
         cycle = self.cycle
         if fetch_queue[0][1] > cycle:
             return
-        trace = self._trace
+        trace = self._d_trace
+        d_base = self._d_base
+        d_limit = self._d_limit
         flags_arr = trace.flags
         fu_arr = trace.fu_idx
         specs = trace.rename_specs
         iq_tags = trace.iq_tag
+        lat_arr = trace.latency
+        mem_arr = trace.mem_addr
         dispatched = 0
         stalled_on_region = False
         stalled_on_physical = False
@@ -506,7 +543,24 @@ class OutOfOrderCore:
             index, decode_ready = fetch_queue[0]
             if decode_ready > cycle:
                 break
-            flags = flags_arr[index]
+            while index >= d_limit:
+                # Dispatch drained its window: step to the next one fetch
+                # already pulled in, releasing the old window — the
+                # windowed replay's decode-memory bound.
+                trace = self._win_queue.popleft()
+                d_base = d_limit
+                d_limit += trace.length
+                self._d_trace = trace
+                self._d_base = d_base
+                self._d_limit = d_limit
+                flags_arr = trace.flags
+                fu_arr = trace.fu_idx
+                specs = trace.rename_specs
+                iq_tags = trace.iq_tag
+                lat_arr = trace.latency
+                mem_arr = trace.mem_addr
+            rel = index - d_base
+            flags = flags_arr[rel]
 
             # The paper's special NOOP: stripped in the last decode stage.
             # It consumes a dispatch slot (the source of the NOOP scheme's
@@ -517,7 +571,7 @@ class OutOfOrderCore:
                         iq.tail = iq_tail
                         policy.on_hint(
                             self,
-                            trace.statics[trace.static_idx[index]].hint_value,
+                            trace.statics[trace.static_idx[rel]].hint_value,
                         )
                     if stats is not None:
                         stats.hint_noops_stripped += 1
@@ -527,7 +581,7 @@ class OutOfOrderCore:
 
             # Tag-carried hints (Extension/Improved) cost no dispatch slot.
             if uses_hints:
-                tag_value = iq_tags[index]
+                tag_value = iq_tags[rel]
                 if tag_value is not None:
                     iq.tail = iq_tail
                     policy.on_hint(self, tag_value)
@@ -539,7 +593,7 @@ class OutOfOrderCore:
 
             if rob_count >= rob_effective:
                 break
-            int_srcs, fp_srcs, int_dests, fp_dests = specs[index]
+            int_srcs, fp_srcs, int_dests, fp_dests = specs[rel]
             if int_free_count < len(int_dests) or (
                 fp_dests and fp_file.free_count < len(fp_dests)
             ):
@@ -608,6 +662,9 @@ class OutOfOrderCore:
             rob_entry.dest_tags = dest_tags
             rob_entry.freed_on_commit = freed
             rob_entry.source_tags = source_tags
+            rob_entry.flags = flags
+            rob_entry.latency = lat_arr[rel]
+            rob_entry.mem_addr = mem_arr[rel]
             rob_tail = (rob_tail + 1) % rob_capacity
             rob_count += 1
 
@@ -622,7 +679,7 @@ class OutOfOrderCore:
             iq_entry.rob_index = rob_index
             iq_entry.waiting_tags = waiting
             iq_entry.num_source_operands = len(source_tags)
-            iq_entry.fu_class = fu_arr[index]
+            iq_entry.fu_class = fu_arr[rel]
             iq_entry.ready_cycle = ready_cycle
             iq_entry.age = iq_age
             iq_slots[slot] = iq_entry
@@ -685,8 +742,9 @@ class OutOfOrderCore:
         queue_cap = config.fetch_queue_entries
         if len(fetch_queue) >= queue_cap:
             return
-        trace = self._trace
-        length = trace.length
+        trace = self._f_trace
+        f_base = self._f_base
+        f_limit = self._f_limit
         index = self._trace_pos
         pcs = trace.pc
         flags_arr = trace.flags
@@ -700,11 +758,18 @@ class OutOfOrderCore:
         fetched = 0
         hints_fetched = 0
         while fetched < width and len(fetch_queue) < queue_cap:
-            if index >= length:
-                self._trace_exhausted = True
-                break
-            pc = pcs[index]
-            flags = flags_arr[index]
+            if index >= f_limit:
+                if not self._advance_fetch_window():
+                    self._trace_exhausted = True
+                    break
+                trace = self._f_trace
+                f_base = self._f_base
+                f_limit = self._f_limit
+                pcs = trace.pc
+                flags_arr = trace.flags
+            rel = index - f_base
+            pc = pcs[rel]
+            flags = flags_arr[rel]
             if flags & F_HINT:
                 hints_fetched += 1
 
@@ -743,26 +808,45 @@ class OutOfOrderCore:
             stats.fetched_instructions += fetched
             stats.hint_noops_fetched += hints_fetched
 
+    def _advance_fetch_window(self) -> bool:
+        """Pull the next trace window in behind fetch; False at trace end."""
+        window = self._stream.next_window()
+        while window is not None and window.length == 0:
+            window = self._stream.next_window()
+        if window is None:
+            return False
+        self._win_queue.append(window)
+        resident = len(self._win_queue) + 1
+        if resident > self.max_resident_windows:
+            self.max_resident_windows = resident
+        self._f_trace = window
+        self._f_base = self._f_limit
+        self._f_limit += window.length
+        return True
+
     def _handle_control_flow(self, index: int, flags: int) -> bool:
         """Run branch prediction for the instruction at ``index``.
 
         Returns True if fetch must stop (the transfer mispredicted).
+        ``index`` is the global trace position; it always lies in the
+        current fetch window (control flow is resolved at fetch).
         """
-        trace = self._trace
+        trace = self._f_trace
+        rel = index - self._f_base
         mispredicted = False
         if flags & F_BRANCH:
             if self._warmup_done:
                 self.stats.branches += 1
             outcome = self.predictor.predict_and_update(
-                trace.pc[index], trace.taken[index] != 0, trace.next_pc[index]
+                trace.pc[rel], trace.taken[rel] != 0, trace.next_pc[rel]
             )
             mispredicted = not outcome.correct
             if mispredicted and self._warmup_done:
                 self.stats.branch_mispredicts += 1
         elif flags & F_CALL:
-            self.predictor.push_return_address(trace.pc[index] + 4)
+            self.predictor.push_return_address(trace.pc[rel] + 4)
         elif flags & F_RET:
-            correct = self.predictor.predict_return(trace.next_pc[index])
+            correct = self.predictor.predict_return(trace.next_pc[rel])
             mispredicted = not correct
             if mispredicted and self._warmup_done:
                 self.stats.ras_mispredicts += 1
@@ -828,14 +912,18 @@ def simulate(
     max_cycles: Optional[int] = None,
     trace_cache=None,
     live_emulation: Optional[bool] = None,
+    trace_window: Optional[int] = None,
 ) -> SimulationStats:
     """Convenience wrapper: emulate ``program`` once and replay it under
     ``policy``.
 
     The functional emulation is decoupled from the timing loop: the
     committed stream is pre-decoded into flat arrays by
-    :func:`repro.uarch.trace.get_decoded_trace` (memoised per process and
+    :func:`repro.uarch.trace.get_trace_stream` (memoised per process and
     optionally cached on disk), and the core replays those arrays.
+    Budgets above the trace window stream window by window, bounding
+    peak decoded-trace memory by the window size; statistics are
+    bit-identical for every window size.
 
     Args:
         program: an IR :class:`~repro.isa.program.Program`.
@@ -851,19 +939,24 @@ def simulate(
         live_emulation: force a fresh functional emulation, bypassing the
             trace memo and the disk cache (default: the
             ``REPRO_LIVE_EMULATION`` environment variable).
+        trace_window: decoded-trace window size in instructions (None:
+            ``REPRO_TRACE_WINDOW`` or the library default; 0 forces a
+            monolithic decode).
 
     Returns:
         The populated :class:`~repro.uarch.stats.SimulationStats`.
     """
-    if live_emulation is None:
-        live_emulation = bool(os.environ.get("REPRO_LIVE_EMULATION"))
     if trace_cache is not None and not isinstance(trace_cache, TraceCache):
         trace_cache = TraceCache(trace_cache)
-    trace = get_decoded_trace(
-        program, max_instructions, cache=trace_cache, live=live_emulation
+    stream = get_trace_stream(
+        program,
+        max_instructions,
+        window_size=trace_window,
+        cache=trace_cache,
+        live=live_emulation,
     )
     core = OutOfOrderCore(
-        trace,
+        stream,
         config=config,
         policy=policy,
         warmup_instructions=warmup_instructions,

@@ -286,11 +286,46 @@ class FunctionalEmulator:
         avoiding one :class:`DynamicInstruction` allocation per committed
         instruction on the pre-decode path.
         """
+        statics: list = []
+        pcs: list[int] = []
+        next_pcs: list[int] = []
+        takens: list[bool] = []
+        mems: list[Optional[int]] = []
+        for chunk in self.run_collect_windows(max_instructions, None):
+            if not pcs:
+                statics, pcs, next_pcs, takens, mems = chunk
+            else:  # pragma: no cover - window_size=None yields one chunk
+                statics.extend(chunk[0])
+                pcs.extend(chunk[1])
+                next_pcs.extend(chunk[2])
+                takens.extend(chunk[3])
+                mems.extend(chunk[4])
+        return statics, pcs, next_pcs, takens, mems
+
+    def run_collect_windows(
+        self, max_instructions: int = 1_000_000, window_size: Optional[int] = None
+    ) -> Iterator[tuple[list, list[int], list[int], list[bool], list[Optional[int]]]]:
+        """Execute, yielding ``(statics, pcs, next_pcs, takens, mems)`` chunks.
+
+        Every yielded chunk except possibly the last holds exactly
+        ``window_size`` committed instructions; ``window_size=None`` (or
+        ``<= 0``) yields the whole stream as one chunk.  Chunks are
+        produced in commit order and the architectural state advances
+        eagerly, so consuming lazily bounds the peak size of the column
+        lists by the window size instead of the instruction budget — this
+        is the decode-memory bound behind windowed trace replay
+        (:mod:`repro.uarch.trace`).
+
+        ``instructions_executed`` is only accurate once the generator is
+        exhausted (an abandoned generator stops mid-stream).
+        """
         program = self.program
         regs = self.registers
         fregs = self.fp_registers
         memory = self.memory
         max_call_depth = self.max_call_depth
+
+        window_limit = window_size if window_size and window_size > 0 else None
 
         statics: list = []
         pcs: list[int] = []
@@ -457,6 +492,18 @@ class FunctionalEmulator:
             takens_append(taken)
             mems_append(mem_address)
             seq += 1
+            if window_limit is not None and len(pcs) >= window_limit:
+                yield (statics, pcs, next_pcs, takens, mems)
+                statics = []
+                pcs = []
+                next_pcs = []
+                takens = []
+                mems = []
+                statics_append = statics.append
+                pcs_append = pcs.append
+                next_pcs_append = next_pcs.append
+                takens_append = takens.append
+                mems_append = mems.append
             if halt:
                 break
             if next_proc is not proc_name:
@@ -472,7 +519,8 @@ class FunctionalEmulator:
             else:
                 instr_idx = next_instr
         self.instructions_executed = seq
-        return statics, pcs, next_pcs, takens, mems
+        if pcs:
+            yield (statics, pcs, next_pcs, takens, mems)
 
     # ------------------------------------------------------------------
     def _position_pc(self, proc_name: str, block_index: int, instr_index: int) -> int:

@@ -38,6 +38,11 @@ class RobEntry:
         freed_on_commit: physical registers released when it commits.
         source_tags: physical registers read (for register-file accounting).
         completion_cycle: cycle at which execution finished.
+        flags / latency / mem_addr: the instruction's pre-decoded timing
+            attributes, copied from the trace window at dispatch so later
+            stages (issue, execute) never index the trace — which lets the
+            windowed replay core release a trace window as soon as every
+            entry in it has been dispatched.
     """
 
     __slots__ = (
@@ -48,6 +53,9 @@ class RobEntry:
         "freed_on_commit",
         "source_tags",
         "completion_cycle",
+        "flags",
+        "latency",
+        "mem_addr",
     )
 
     def __init__(
@@ -67,6 +75,9 @@ class RobEntry:
         self.freed_on_commit = freed_on_commit if freed_on_commit is not None else []
         self.source_tags = source_tags if source_tags is not None else []
         self.completion_cycle = completion_cycle
+        self.flags = 0
+        self.latency = 1
+        self.mem_addr = 0
 
 
 class ReorderBuffer:

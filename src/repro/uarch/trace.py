@@ -32,6 +32,24 @@ Three reuse tiers sit in front of the emulator:
    environment variable), which bypasses both tiers and re-runs the
    interpreter — the reference path the equivalence tests compare against.
 
+Windowed streaming (:func:`get_trace_stream`) sits on top of the same
+tiers: budgets above the window size are lowered window by window — the
+emulator yields column chunks and each chunk is decoded independently.
+A warm cache reads and validates its compact encoded payload up front
+(25 bytes per instruction; the header's per-window offset table keeps
+windows independently addressable for future partial readers) and then
+decodes it window by window, re-chunked to the requesting run's window
+size — only the expensive decoded form is ever lazy, and only it is
+bounded by the window.  The replay core consumes the resulting
+:class:`TraceWindowStream` forward-only and releases windows as it
+retires past them, so peak decoded-trace memory is bounded by the window
+size (default :data:`~repro.uarch.config.DEFAULT_TRACE_WINDOW_ENTRIES`)
+at any instruction budget.  Statistics are bit-identical for every window
+size, including 1.  The streaming path never memoises *decoded* traces —
+the whole point is not holding them — but it does memoise the compact
+encoded columns (25 bytes per instruction), so a grid still emulates each
+benchmark once per process even without a disk cache.
+
 Module-level :data:`trace_events` counters record emulations, memo hits
 and disk hits/misses/stores so tests can assert that a warm cache skips
 re-emulation entirely.
@@ -52,11 +70,19 @@ from typing import Iterable, Optional
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode, default_latency, fu_class
+from repro.uarch.config import DEFAULT_TRACE_WINDOW_ENTRIES
 from repro.uarch.emulator import DynamicInstruction, FunctionalEmulator, ProgramLayout
 from repro.uarch.functional_units import FU_INDEX
 
-#: Bump when the on-disk payload layout changes.
-TRACE_FORMAT_VERSION = 1
+#: Bump when the on-disk payload layout changes.  Version 2: windowed
+#: payloads — the header carries per-window entry counts and byte offsets
+#: so windows load independently; version-1 files (monolithic, no window
+#: table) are treated as misses and re-emulated.
+TRACE_FORMAT_VERSION = 2
+
+#: Bytes per stored dynamic instruction: three little-endian ``int64``
+#: columns (pc, next_pc, mem_address) plus one taken byte.
+_ENTRY_BYTES = 25
 
 # Per-instruction classification flags (one byte per dynamic instruction).
 F_HINT = 1
@@ -84,6 +110,34 @@ def reset_trace_events() -> None:
     """Zero the :data:`trace_events` counters (test isolation)."""
     for key in trace_events:
         trace_events[key] = 0
+
+
+def _decode_column_windows(
+    columns: tuple, instr_by_pc: dict, window_size: Optional[int]
+) -> Iterable[DecodedTrace]:
+    """Lazily decode concatenated emulation columns into replay windows.
+
+    ``columns`` is the compact ``(pcs, next_pcs, mems, taken)`` tuple (25
+    bytes per instruction); only one ``window_size``-sized window exists
+    in decoded form at a time (None or 0: a single window).
+    """
+    pcs, next_pcs, mems, taken = columns
+    length = len(pcs)
+    step = window_size if window_size and window_size > 0 else (length or 1)
+
+    def _decode() -> Iterable[DecodedTrace]:
+        for start in range(0, length, step):
+            stop = min(start + step, length)
+            window_pcs = pcs[start:stop]
+            yield DecodedTrace.from_entries(
+                (instr_by_pc[pc] for pc in window_pcs),
+                window_pcs,
+                next_pcs[start:stop],
+                taken[start:stop],
+                mems[start:stop],
+            )
+
+    return _decode()
 
 
 class DecodedTrace:
@@ -321,97 +375,332 @@ def trace_fingerprint(program, max_instructions: int) -> str:
 # On-disk cache
 # ----------------------------------------------------------------------
 class TraceCache:
-    """One-file-per-trace binary cache of emulation results.
+    """Windowed, content-addressed binary cache of emulation results.
 
-    Stores only what the emulator produced (pc, next_pc, taken,
-    mem_address); static instructions are re-resolved from the program's
-    deterministic layout on load and the timing attributes re-decoded, so
-    the payload stays compact and decode-layer changes need no format
-    bump.  The file is a one-line JSON header followed by the raw
-    little-endian ``int64`` arrays — writing is a handful of
-    ``tobytes``/``write`` calls rather than tens of thousands of JSON
-    integer encodes, which matters because the store sits on the
-    cold-path of every first simulation.  Writes are atomic (temp file +
-    ``os.replace``), making one directory safe to share between
-    concurrent workers — the same discipline as
-    :class:`repro.harness.cache.ResultCache`.
+    On-disk layout (format 2): one file per trace, named
+    ``<fingerprint>.trace.bin``, holding a one-line JSON header followed
+    by a binary payload.  The header records the total entry count, the
+    window size the trace was stored with, and two parallel lists —
+    ``windows`` (entries per window) and ``offsets`` (each window's byte
+    offset into the payload) — so every window is independently
+    addressable.  Each window's blob is its raw little-endian ``int64``
+    ``pc`` / ``next_pc`` / ``mem_address`` columns followed by one
+    ``taken`` byte per entry (25 bytes per instruction).  Only emulation
+    results are persisted; static instructions are re-resolved from the
+    program's deterministic layout on load and the timing attributes
+    re-decoded per window, so the payload stays compact and decode-layer
+    changes need no format bump.
+
+    Any malformation — a missing or stale-format header, an inconsistent
+    window table, a truncated payload, a pc that doesn't resolve in the
+    program — is a clean miss: the trace is re-emulated and re-stored,
+    never partially trusted.
+
+    Writes are atomic (temp file + ``os.replace``), making one directory
+    safe to share between concurrent workers — the same discipline as
+    :class:`repro.harness.cache.ResultCache`.  With ``max_bytes`` set,
+    every store prunes least-recently-used traces until the directory
+    fits under the cap (hits refresh recency via file mtimes, mirroring
+    ``ResultCache.max_entries``); the freshly stored file is never the
+    victim.
+
+    Attributes:
+        directory: cache root (created on first store).
+        max_bytes: directory size cap (None means unbounded, the default).
+        hits / misses / stores / evictions: counters for tests and the
+            ``--cache-stats`` report.
     """
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(
+        self, directory: str | os.PathLike, max_bytes: Optional[int] = None
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be a positive integer or None")
         self.directory = Path(directory)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def path_for(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.trace.bin"
 
-    def load(self, fingerprint: str, program) -> Optional[DecodedTrace]:
-        """Rebuild the decoded trace for ``fingerprint``, or None on a miss."""
-        try:
-            with open(self.path_for(fingerprint), "rb") as handle:
-                header_line = handle.readline()
-                header = json.loads(header_line)
-                if header.get("format") != TRACE_FORMAT_VERSION:
-                    raise ValueError("stale trace format")
-                length = header["length"]
-                pcs = array.array("q")
-                next_pcs = array.array("q")
-                mems = array.array("q")
-                pcs.frombytes(handle.read(8 * length))
-                next_pcs.frombytes(handle.read(8 * length))
-                mems.frombytes(handle.read(8 * length))
-                taken = bytearray(handle.read(length))
-                if (
-                    len(pcs) != length
-                    or len(next_pcs) != length
-                    or len(mems) != length
-                    or len(taken) != length
-                ):
-                    raise ValueError("truncated trace payload")
-                if header["byteorder"] != sys.byteorder:
-                    for arr in (pcs, next_pcs, mems):
-                        arr.byteswap()
-            # A stored pc that doesn't resolve to a static instruction of
-            # this program means corruption (or a fingerprint collision);
-            # the KeyError below treats it as a miss like any other
-            # malformed payload, forcing a clean re-emulation.
-            instr_by_pc = _instructions_by_pc(program)
-            trace = DecodedTrace.from_entries(
-                (instr_by_pc[pc] for pc in pcs),
-                list(pcs),
-                list(next_pcs),
-                taken,
-                list(mems),
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _read_columns(self, fingerprint: str) -> tuple[tuple, Path]:
+        """Parse and fully validate one stored trace.
+
+        Returns ``(columns, path)`` where ``columns`` is the concatenated
+        ``(pcs, next_pcs, mems, taken)`` tuple, raising on any
+        malformation (stale format, inconsistent window table, truncated
+        payload).  The whole payload is read up front — it is compact, 25
+        bytes per instruction — so later per-window decoding can never
+        fail halfway through a replay; readers re-chunk the columns to
+        whatever window size their run requests, so the stored layout
+        never dictates replay memory.
+        """
+        path = self.path_for(fingerprint)
+        with open(path, "rb") as handle:
+            header = json.loads(handle.readline())
+            if header.get("format") != TRACE_FORMAT_VERSION:
+                raise ValueError("stale trace format")
+            length = header["length"]
+            counts = header["windows"]
+            offsets = header["offsets"]
+            payload = handle.read()
+        if not isinstance(counts, list) or not isinstance(offsets, list):
+            raise ValueError("malformed window table")
+        if len(counts) != len(offsets) or sum(counts) != length:
+            raise ValueError("inconsistent window table")
+        if len(payload) != _ENTRY_BYTES * length:
+            raise ValueError("truncated trace payload")
+        swap = header["byteorder"] != sys.byteorder
+        pcs = array.array("q")
+        next_pcs = array.array("q")
+        mems = array.array("q")
+        taken = bytearray()
+        expected_offset = 0
+        for count, offset in zip(counts, offsets):
+            if count < 0 or offset != expected_offset:
+                raise ValueError("inconsistent window table")
+            expected_offset += _ENTRY_BYTES * count
+            word_bytes = 8 * count
+            pcs.frombytes(payload[offset : offset + word_bytes])
+            next_pcs.frombytes(payload[offset + word_bytes : offset + 2 * word_bytes])
+            mems.frombytes(payload[offset + 2 * word_bytes : offset + 3 * word_bytes])
+            taken.extend(
+                payload[offset + 3 * word_bytes : offset + 3 * word_bytes + count]
             )
-        except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError):
+        if swap:
+            for arr in (pcs, next_pcs, mems):
+                arr.byteswap()
+        return (pcs, next_pcs, mems, taken), path
+
+    def _open_validated(self, fingerprint: str, program) -> Optional[tuple]:
+        """Read, validate and pc-resolve a stored trace; None on a miss.
+
+        A stored pc that doesn't resolve to a static instruction of this
+        program means corruption (or a fingerprint collision) and is a
+        miss like any other malformed payload, forcing a clean
+        re-emulation.  Hits refresh the file's mtime (LRU recency).
+        """
+        try:
+            columns, path = self._read_columns(fingerprint)
+            instr_by_pc = _instructions_by_pc(program)
+            if not set(columns[0]) <= instr_by_pc.keys():
+                raise ValueError("unresolvable pc in stored trace")
+        except (
+            FileNotFoundError,
+            OSError,
+            ValueError,
+            KeyError,
+            TypeError,
+            json.JSONDecodeError,
+        ):
             self.misses += 1
             trace_events["disk_misses"] += 1
             return None
         self.hits += 1
         trace_events["disk_hits"] += 1
-        return trace
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
+        return columns, instr_by_pc
 
-    def store(self, fingerprint: str, trace: DecodedTrace) -> Path:
-        """Atomically persist ``trace`` under ``fingerprint``."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def load(self, fingerprint: str, program) -> Optional[DecodedTrace]:
+        """Rebuild the full decoded trace for ``fingerprint``; None on a miss."""
+        opened = self._open_validated(fingerprint, program)
+        if opened is None:
+            return None
+        (pcs, next_pcs, mems, taken), instr_by_pc = opened
+        return DecodedTrace.from_entries(
+            (instr_by_pc[pc] for pc in pcs), pcs, next_pcs, taken, mems
+        )
+
+    def open_windows(
+        self, fingerprint: str, program, window_size: Optional[int] = None
+    ) -> Optional[Iterable[DecodedTrace]]:
+        """A lazy iterator of decoded windows; None on a miss.
+
+        The stored columns are re-chunked to ``window_size`` (None or 0:
+        one window), whatever layout the file was stored with — a trace
+        warmed monolithically or at a different window size still replays
+        under the *requesting* run's memory bound.  Validation happens
+        entirely up front (see :meth:`_read_columns`), so only the
+        expensive decoded form — flags, rename specs, static references —
+        is built lazily, one window at a time, as the replay core
+        consumes the stream.
+        """
+        opened = self._open_validated(fingerprint, program)
+        if opened is None:
+            return None
+        columns, instr_by_pc = opened
+        return _decode_column_windows(columns, instr_by_pc, window_size)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def open_store(
+        self, fingerprint: str, window_size: Optional[int] = None
+    ) -> "TraceWindowWriter":
+        """A writer that accumulates windows and commits one atomic file."""
+        return TraceWindowWriter(self, fingerprint, window_size)
+
+    def store(
+        self, fingerprint: str, trace: DecodedTrace, window_size: Optional[int] = None
+    ) -> Path:
+        """Atomically persist ``trace`` under ``fingerprint``.
+
+        ``window_size`` splits the payload into independently loadable
+        windows; None stores the whole trace as a single window.
+        """
+        writer = self.open_store(fingerprint, window_size)
+        length = trace.length
+        step = window_size if window_size and window_size > 0 else (length or 1)
+        for start in range(0, length, step):
+            stop = min(start + step, length)
+            writer.add(
+                trace.pc[start:stop],
+                trace.next_pc[start:stop],
+                trace.taken[start:stop],
+                trace.mem_addr[start:stop],
+            )
+        return writer.commit()
+
+    # ------------------------------------------------------------------
+    # Bounding and reporting
+    # ------------------------------------------------------------------
+    def _entry_paths(self) -> list[Path]:
+        # Exclude in-flight (or orphaned) ``.tmp-*`` writer files.
+        if not self.directory.is_dir():
+            return []
+        return [
+            path
+            for path in self.directory.glob("*.trace.bin")
+            if not path.name.startswith(".")
+        ]
+
+    def _prune(self, protect: Optional[Path] = None) -> None:
+        """Evict least-recently-used traces until the byte cap is met.
+
+        ``protect`` (the file a store just wrote) is never evicted, so a
+        single trace larger than the cap does not immediately evict
+        itself and thrash.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if protect is not None and path == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            total -= size
+            self.evictions += 1
+
+    def cache_stats(self) -> dict:
+        """Size and traffic summary for reports (``--cache-stats``)."""
+        paths = self._entry_paths()
+        total_bytes = 0
+        for path in paths:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+        return {
+            "directory": str(self.directory),
+            "traces": len(paths),
+            "total_bytes": total_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())
+
+
+class TraceWindowWriter:
+    """Accumulates encoded windows for one atomic :class:`TraceCache` store.
+
+    Window blobs are buffered in their compact encoded form (25 bytes per
+    instruction), so an in-flight store costs megabytes at worst — never
+    the decoded trace's hundreds of bytes per instruction.  Nothing
+    touches the cache directory until :meth:`commit`; abandoning the
+    writer (for example a replay cut short by ``max_cycles``) therefore
+    stores nothing.
+    """
+
+    def __init__(
+        self, cache: TraceCache, fingerprint: str, window_size: Optional[int]
+    ):
+        self._cache = cache
+        self._fingerprint = fingerprint
+        self._window_size = window_size
+        self._blobs: list[bytes] = []
+        self._counts: list[int] = []
+
+    def add(self, pcs, next_pcs, takens, mems) -> None:
+        """Append one window's emulation columns (taken may be bools)."""
+        self._blobs.append(
+            b"".join(
+                (
+                    array.array("q", pcs).tobytes(),
+                    array.array("q", next_pcs).tobytes(),
+                    array.array("q", mems).tobytes(),
+                    bytes(bytearray(1 if t else 0 for t in takens)),
+                )
+            )
+        )
+        self._counts.append(len(pcs))
+
+    def commit(self) -> Path:
+        """Assemble header + payload and atomically publish the file."""
+        cache = self._cache
+        offsets: list[int] = []
+        offset = 0
+        for count in self._counts:
+            offsets.append(offset)
+            offset += _ENTRY_BYTES * count
         header = {
             "format": TRACE_FORMAT_VERSION,
-            "length": trace.length,
+            "length": sum(self._counts),
+            "window_size": self._window_size,
             "byteorder": sys.byteorder,
+            "windows": self._counts,
+            "offsets": offsets,
         }
-        path = self.path_for(fingerprint)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        path = cache.path_for(self._fingerprint)
         fd, temp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".bin"
+            dir=cache.directory, prefix=".tmp-", suffix=".bin"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(json.dumps(header, separators=(",", ":")).encode())
                 handle.write(b"\n")
-                handle.write(array.array("q", trace.pc).tobytes())
-                handle.write(array.array("q", trace.next_pc).tobytes())
-                handle.write(array.array("q", trace.mem_addr).tobytes())
-                handle.write(bytes(trace.taken))
+                for blob in self._blobs:
+                    handle.write(blob)
             os.replace(temp_path, path)
         except BaseException:
             try:
@@ -419,18 +708,10 @@ class TraceCache:
             except FileNotFoundError:
                 pass
             raise
-        self.stores += 1
+        cache.stores += 1
         trace_events["disk_stores"] += 1
+        cache._prune(protect=path)
         return path
-
-    def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(
-            1
-            for path in self.directory.glob("*.trace.bin")
-            if not path.name.startswith(".")
-        )
 
 
 def _instructions_by_pc(program) -> dict[int, Instruction]:
@@ -473,10 +754,26 @@ def emulate_trace(program, max_instructions: int) -> DecodedTrace:
 _MEMO_CAPACITY = 8
 _trace_memo: "OrderedDict[tuple[str, int], DecodedTrace]" = OrderedDict()
 
+#: In-process memo of *encoded* emulation columns for the streaming path,
+#: keyed like :data:`_trace_memo`.  At 25 bytes per instruction it
+#: preserves the decode-memory bound while restoring the
+#: emulate-once-per-benchmark guarantee when budgets exceed the window
+#: and no disk cache is configured (every cell of an uncached grid would
+#: otherwise re-emulate).
+_COLUMN_MEMO_CAPACITY = 8
+_column_memo: "OrderedDict[tuple[str, int], tuple]" = OrderedDict()
+
+
+def _memoise_columns(key: tuple, columns: tuple) -> None:
+    _column_memo[key] = columns
+    while len(_column_memo) > _COLUMN_MEMO_CAPACITY:
+        _column_memo.popitem(last=False)
+
 
 def clear_trace_memo() -> None:
-    """Drop every memoised decoded trace (test isolation)."""
+    """Drop every memoised decoded trace and column set (test isolation)."""
     _trace_memo.clear()
+    _column_memo.clear()
 
 
 def get_decoded_trace(
@@ -519,3 +816,174 @@ def get_decoded_trace(
     while len(_trace_memo) > _MEMO_CAPACITY:
         _trace_memo.popitem(last=False)
     return trace
+
+
+# ----------------------------------------------------------------------
+# Windowed streaming
+# ----------------------------------------------------------------------
+class TraceWindowStream:
+    """Forward-only stream of consecutive :class:`DecodedTrace` windows.
+
+    The replay core (:class:`repro.uarch.core.OutOfOrderCore`) pulls the
+    next window as its fetch stage crosses each boundary and releases
+    windows once dispatch has consumed every entry in them; backed by a
+    lazy iterator this bounds peak decoded-trace memory by the window
+    size rather than the instruction budget.
+    """
+
+    __slots__ = ("window_size", "_iterator", "_exhausted")
+
+    def __init__(
+        self,
+        windows: Iterable[DecodedTrace],
+        window_size: Optional[int] = None,
+    ):
+        self._iterator = iter(windows)
+        self.window_size = window_size
+        self._exhausted = False
+
+    @classmethod
+    def single(cls, trace: DecodedTrace) -> "TraceWindowStream":
+        """Wrap one monolithic decoded trace as a single-window stream."""
+        return cls((trace,), window_size=None)
+
+    def next_window(self) -> Optional[DecodedTrace]:
+        """The next consecutive window, or None once the trace ends."""
+        if self._exhausted:
+            return None
+        window = next(self._iterator, None)
+        if window is None:
+            self._exhausted = True
+        return window
+
+
+def resolve_trace_window(window_size: Optional[int] = None) -> int:
+    """The effective window size: argument, else env, else the default.
+
+    ``0`` disables windowing (monolithic decode and replay at any
+    budget); negative values are rejected.  The environment variable
+    ``REPRO_TRACE_WINDOW`` supplies the default when no explicit value is
+    given, falling back to
+    :data:`~repro.uarch.config.DEFAULT_TRACE_WINDOW_ENTRIES`.
+    """
+    if window_size is None:
+        env = os.environ.get("REPRO_TRACE_WINDOW")
+        if env:
+            try:
+                window_size = int(env)
+            except ValueError as exc:
+                raise ValueError(
+                    "REPRO_TRACE_WINDOW must be an integer instruction "
+                    f"count, got {env!r}"
+                ) from exc
+        else:
+            window_size = DEFAULT_TRACE_WINDOW_ENTRIES
+    if window_size < 0:
+        raise ValueError("trace window must be a non-negative instruction count")
+    return window_size
+
+
+def _emulated_windows(
+    program,
+    max_instructions: int,
+    window_size: int,
+    cache: Optional[TraceCache],
+    fingerprint: Optional[str],
+    memo_key: Optional[tuple] = None,
+) -> Iterable[DecodedTrace]:
+    """Emulate once, yielding decoded windows as they are produced.
+
+    With a cache, each window's encoded columns are buffered as they
+    stream past and the file is committed atomically when the emulation
+    completes; with ``memo_key``, the same compact columns also land in
+    the in-process column memo.  An abandoned replay stores and memoises
+    nothing.
+    """
+    trace_events["emulations"] += 1
+    writer = (
+        cache.open_store(fingerprint, window_size) if cache is not None else None
+    )
+    pcs_acc = array.array("q")
+    next_acc = array.array("q")
+    mems_acc = array.array("q")
+    taken_acc = bytearray()
+    emulator = FunctionalEmulator(program)
+    for statics, pcs, next_pcs, takens, mems in emulator.run_collect_windows(
+        max_instructions, window_size
+    ):
+        mems = [mem if mem is not None else 0 for mem in mems]
+        takens = bytearray(1 if t else 0 for t in takens)
+        if writer is not None:
+            writer.add(pcs, next_pcs, takens, mems)
+        if memo_key is not None:
+            pcs_acc.extend(pcs)
+            next_acc.extend(next_pcs)
+            mems_acc.extend(mems)
+            taken_acc.extend(takens)
+        yield DecodedTrace.from_entries(statics, pcs, next_pcs, takens, mems)
+    if writer is not None:
+        writer.commit()
+    if memo_key is not None:
+        _memoise_columns(memo_key, (pcs_acc, next_acc, mems_acc, taken_acc))
+
+
+def get_trace_stream(
+    program,
+    max_instructions: int,
+    window_size: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+    live: Optional[bool] = None,
+) -> TraceWindowStream:
+    """A replay-ready window stream for (program, budget).
+
+    Budgets at or below the effective window size — and ``window_size=0``
+    — take the monolithic :func:`get_decoded_trace` path, in-process memo
+    included, wrapped as a single window; nothing changes for small runs.
+    Larger budgets stream, reusing three tiers while only ever holding
+    compact encoded columns plus the replay's own resident windows: the
+    in-process *column* memo (emulate once per (program, budget) even
+    with no disk cache), then the disk cache, then one fresh emulation
+    that populates both.  Replay statistics are bit-identical for every
+    window size.
+    """
+    if live is None:
+        live = bool(os.environ.get("REPRO_LIVE_EMULATION"))
+    window_size = resolve_trace_window(window_size)
+    if window_size == 0 or max_instructions <= window_size:
+        trace = (
+            emulate_trace(program, max_instructions)
+            if live
+            else get_decoded_trace(program, max_instructions, cache=cache, live=False)
+        )
+        return TraceWindowStream.single(trace)
+    if live:
+        return TraceWindowStream(
+            _emulated_windows(program, max_instructions, window_size, None, None),
+            window_size,
+        )
+    digest = program_digest(program)
+    key = (digest, max_instructions)
+    columns = _column_memo.get(key)
+    if columns is not None:
+        trace_events["memo_hits"] += 1
+        _column_memo.move_to_end(key)
+        return TraceWindowStream(
+            _decode_column_windows(columns, _instructions_by_pc(program), window_size),
+            window_size,
+        )
+    fingerprint = _fingerprint_from_digest(digest, max_instructions)
+    if cache is not None:
+        opened = cache._open_validated(fingerprint, program)
+        if opened is not None:
+            stored_columns, instr_by_pc = opened
+            _memoise_columns(key, stored_columns)
+            return TraceWindowStream(
+                _decode_column_windows(stored_columns, instr_by_pc, window_size),
+                window_size,
+            )
+    return TraceWindowStream(
+        _emulated_windows(
+            program, max_instructions, window_size, cache, fingerprint, key
+        ),
+        window_size,
+    )

@@ -22,7 +22,9 @@ from repro.harness.cache import (
     stats_from_dict,
     stats_to_dict,
 )
-from repro.uarch import SimulationStats
+from repro.harness.parallel import run_simulation_job
+from repro.uarch import SimulationStats, TraceCache
+from repro.uarch.trace import clear_trace_memo
 
 
 #: A tiny grid that still crosses hardware-only and software techniques
@@ -116,6 +118,75 @@ class TestDiskCache:
         cache.store("c" * 64, SimulationStats(cycles=1))
         (tmp_path / ".tmp-orphan.json").write_text("{}")  # killed writer
         assert len(cache) == 1
+
+    def test_malformed_payload_counts_as_miss(self, tmp_path):
+        """Valid JSON without a ``"stats"`` counter mapping — a foreign
+        file, or one truncated and rewritten by another tool — must count
+        a miss and re-simulate, not raise ``KeyError`` mid-run."""
+        from repro.harness.cache import CACHE_FORMAT_VERSION
+
+        cache = ResultCache(tmp_path)
+        fingerprint = "d" * 64
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        version = CACHE_FORMAT_VERSION
+        for payload in (
+            '{"benchmark": "gzip"}',  # no format marker, no stats
+            '{"stats": 42}',  # no format marker
+            f'{{"format": {version}}}',  # our format, stats missing
+            f'{{"format": {version}, "stats": 42}}',  # stats not a mapping
+            f'{{"format": {version}, "stats": ["cycles", 1]}}',
+            '{"format": 999, "stats": {"cycles": 1}}',  # foreign format
+            '["not", "an", "object"]',
+        ):
+            cache.path_for(fingerprint).write_text(payload)
+            assert cache.load(fingerprint) is None, payload
+        assert cache.misses == 7
+        assert cache.hits == 0
+
+
+class TestWorkerTraceCounters:
+    """Trace-cache traffic observed inside pool workers must reach the
+    runner's ``TraceCache`` instead of dying with the worker process."""
+
+    def test_job_payload_reports_local_cache_deltas(self, tmp_path):
+        job = SimulationJob(
+            "gzip", "baseline", TINY_CONFIG, trace_cache_dir=str(tmp_path)
+        )
+        clear_trace_memo()
+        payload = run_simulation_job(job)
+        assert payload["trace_cache"] == {
+            "hits": 0,
+            "misses": 1,
+            "stores": 1,
+            "evictions": 0,
+        }
+        clear_trace_memo()
+        assert run_simulation_job(job)["trace_cache"]["hits"] == 1
+
+    def test_in_process_path_reports_no_deltas(self, tmp_path):
+        """With the runner's live cache passed in, counters accumulate on
+        it directly; shipping deltas too would double count."""
+        cache = TraceCache(tmp_path)
+        job = SimulationJob(
+            "gzip", "baseline", TINY_CONFIG, trace_cache_dir=str(tmp_path)
+        )
+        clear_trace_memo()
+        payload = run_simulation_job(job, None, cache)
+        assert "trace_cache" not in payload
+        assert cache.misses == 1 and cache.stores == 1
+
+    def test_pool_worker_traffic_folds_into_the_runner(self, tmp_path):
+        clear_trace_memo()
+        runner = ParallelSuiteRunner(TINY_CONFIG, workers=2, cache_dir=str(tmp_path))
+        runner.run_suite(techniques=("baseline", "abella"))
+        cache = runner.trace_cache
+        # Every cell ran in a worker, yet the traffic is visible here:
+        # each of the two benchmarks was emulated and stored at least
+        # once (after a counted miss), and before the fold fix all four
+        # counters stayed at zero on parallel runs.
+        assert cache.stores >= 2
+        assert cache.misses >= 2
+        assert cache.hits + cache.misses + cache.stores > 0
 
 
 class TestStatsSerialisation:

@@ -31,10 +31,12 @@ from repro.techniques import (
     NonEmptyPolicy,
     SoftwareDirectedPolicy,
 )
-from repro.uarch import TraceCache, simulate
+from repro.uarch import OutOfOrderCore, TraceCache, simulate
 from repro.uarch.trace import (
+    TRACE_FORMAT_VERSION,
     clear_trace_memo,
     get_decoded_trace,
+    get_trace_stream,
     reset_trace_events,
     trace_events,
     trace_fingerprint,
@@ -124,6 +126,252 @@ class TestReplayEquivalence:
         )
         assert _stats_bytes(live) == _stats_bytes(via_cache)
         assert live.committed_instructions == 2_000
+
+
+class TestWindowedReplay:
+    """Streaming windowed replay: bit-identical stats, bounded memory."""
+
+    @pytest.mark.parametrize("window", (1, 7, 250, 1024))
+    def test_windowed_replay_is_bit_identical(self, window, tmp_path):
+        """Every window size — including 1 and sizes that don't divide
+        the budget — must reproduce the monolithic stats exactly, both
+        when emulating+storing and when streaming back from disk."""
+        program = _program("branchstorm", "improved")
+        policy = lambda: SoftwareDirectedPolicy(variant="improved")  # noqa: E731
+        kwargs = dict(max_instructions=MAX_INSTRUCTIONS, warmup_instructions=500)
+        clear_trace_memo()
+        reference = simulate(program, policy(), trace_window=0, **kwargs)
+
+        cache_dir = tmp_path / "traces"
+        stored = simulate(
+            program, policy(), trace_window=window, trace_cache=str(cache_dir), **kwargs
+        )
+        clear_trace_memo()  # force the replay to come back from disk
+        reset_trace_events()
+        replayed = simulate(
+            program, policy(), trace_window=window, trace_cache=str(cache_dir), **kwargs
+        )
+        assert trace_events["emulations"] == 0
+        assert trace_events["disk_hits"] == 1
+        assert _stats_bytes(reference) == _stats_bytes(stored) == _stats_bytes(replayed)
+
+    @pytest.mark.parametrize(
+        "technique",
+        ("baseline", "nonempty", "abella", "noop", "extension", "improved"),
+    )
+    def test_every_technique_matches_monolithic_replay(self, technique):
+        """The window boundary carries every piece of microarchitectural
+        state a policy can observe, so each technique's stats must be
+        unchanged by windowing."""
+        program = _program("gzip", technique)
+        kwargs = dict(max_instructions=MAX_INSTRUCTIONS, warmup_instructions=500)
+        clear_trace_memo()
+        monolithic = simulate(program, _policy(technique), trace_window=0, **kwargs)
+        windowed = simulate(program, _policy(technique), trace_window=640, **kwargs)
+        assert _stats_bytes(monolithic) == _stats_bytes(windowed)
+
+    def test_100k_budget_run_bounds_resident_windows(self):
+        """Acceptance: a 100k-instruction run completes with peak decoded
+        trace memory bounded by the window size — the core never holds
+        more than the two windows spanning its fetch queue — and the
+        stats are bit-identical to a monolithic replay."""
+        program = build_benchmark("gzip")
+        budget = 100_000
+        clear_trace_memo()
+        stream = get_trace_stream(program, budget, window_size=16_384)
+        core = OutOfOrderCore(
+            stream, policy=BaselinePolicy(), warmup_instructions=20_000
+        )
+        windowed = core.run()
+        assert core.max_resident_windows <= 2
+        clear_trace_memo()
+        monolithic = simulate(
+            program,
+            BaselinePolicy(),
+            max_instructions=budget,
+            warmup_instructions=20_000,
+            trace_window=0,
+        )
+        assert _stats_bytes(windowed) == _stats_bytes(monolithic)
+
+    def test_truncated_window_payload_is_a_clean_miss(self, tmp_path):
+        program = build_benchmark("gzip")
+        cache = TraceCache(tmp_path)
+        clear_trace_memo()
+        kwargs = dict(max_instructions=2_000)
+        first = simulate(
+            program, BaselinePolicy(), trace_window=512, trace_cache=cache, **kwargs
+        )
+        path = cache.path_for(trace_fingerprint(program, 2_000))
+        payload = path.read_bytes()
+        path.write_bytes(payload[:-10])  # chop the last window's tail
+
+        clear_trace_memo()  # the corrupted file must be consulted, not the memo
+        reset_trace_events()
+        again = simulate(
+            program, BaselinePolicy(), trace_window=512, trace_cache=cache, **kwargs
+        )
+        assert trace_events["disk_misses"] == 1  # counted, not crashed
+        assert trace_events["emulations"] == 1  # re-emulated...
+        assert trace_events["disk_stores"] == 1  # ...and re-stored
+        assert _stats_bytes(first) == _stats_bytes(again)
+
+    def test_old_format_trace_files_are_invalidated(self, tmp_path):
+        """A pre-window (format 1) file has no window table; the format
+        bump turns it into a miss instead of a misread."""
+        import sys
+
+        program = build_benchmark("gzip")
+        cache = TraceCache(tmp_path)
+        fingerprint = trace_fingerprint(program, 1_000)
+        path = cache.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        assert TRACE_FORMAT_VERSION > 1
+        header = {"format": 1, "length": 0, "byteorder": sys.byteorder}
+        path.write_bytes(json.dumps(header).encode() + b"\n")
+        assert cache.load(fingerprint, program) is None
+        assert cache.open_windows(fingerprint, program) is None
+        assert cache.misses == 2
+
+    def test_uncached_streaming_grid_emulates_once_per_program(self):
+        """Budgets above the window must not regress the emulate-once
+        guarantee when no disk cache is configured: repeat cells replay
+        from the in-process memo of compact encoded columns."""
+        program = build_benchmark("gzip")
+        kwargs = dict(
+            max_instructions=20_000, warmup_instructions=500, trace_window=8_192
+        )
+        clear_trace_memo()
+        reset_trace_events()
+        simulate(program, BaselinePolicy(), **kwargs)
+        second = simulate(program, NonEmptyPolicy(), **kwargs)
+        assert trace_events["emulations"] == 1
+        assert trace_events["memo_hits"] == 1
+        clear_trace_memo()
+        reference = simulate(program, NonEmptyPolicy(), live_emulation=True, **kwargs)
+        assert _stats_bytes(second) == _stats_bytes(reference)
+
+    def test_stored_layout_never_defeats_the_requested_bound(self, tmp_path):
+        """A cache warmed monolithically (or at any other window size)
+        must be re-chunked to the requesting run's window size — serving
+        the stored layout verbatim would silently unbound decode memory."""
+        program = build_benchmark("gzip")
+        cache = TraceCache(tmp_path)
+        budget = 3_000
+        clear_trace_memo()
+        simulate(
+            program,
+            BaselinePolicy(),
+            max_instructions=budget,
+            trace_window=0,  # stored as one monolithic window
+            trace_cache=cache,
+        )
+        reset_trace_events()
+        stream = get_trace_stream(program, budget, window_size=256, cache=cache)
+        first = stream.next_window()
+        assert trace_events["disk_hits"] == 1
+        assert first is not None and first.length == 256
+        stream = get_trace_stream(program, budget, window_size=256, cache=cache)
+        core = OutOfOrderCore(stream, policy=BaselinePolicy())
+        core.run()
+        assert core.max_resident_windows <= 2
+
+    def test_windowed_and_monolithic_stores_interoperate(self, tmp_path):
+        """One fingerprint serves both access patterns: a windowed store
+        loads monolithically and vice versa."""
+        program = build_benchmark("gzip")
+        cache = TraceCache(tmp_path)
+        clear_trace_memo()
+        reference = simulate(
+            program, BaselinePolicy(), max_instructions=2_000, trace_window=0
+        )
+        # Store windowed, read monolithic.
+        simulate(
+            program,
+            BaselinePolicy(),
+            max_instructions=2_000,
+            trace_window=256,
+            trace_cache=cache,
+        )
+        clear_trace_memo()
+        reset_trace_events()
+        monolithic = simulate(
+            program,
+            BaselinePolicy(),
+            max_instructions=2_000,
+            trace_window=0,
+            trace_cache=cache,
+        )
+        assert trace_events["disk_hits"] == 1
+        assert trace_events["emulations"] == 0
+        assert _stats_bytes(monolithic) == _stats_bytes(reference)
+
+
+class TestTraceCacheBounding:
+    """The trace cache's byte cap: LRU pruning with utime-on-hit recency."""
+
+    def _trace(self):
+        clear_trace_memo()
+        return get_decoded_trace(build_benchmark("gzip"), 1_000)
+
+    def test_byte_cap_evicts_least_recently_used(self, tmp_path):
+        import os
+        import time
+
+        trace = self._trace()
+        probe = TraceCache(tmp_path / "probe")
+        size = probe.store("f" * 64, trace).stat().st_size
+        cache = TraceCache(tmp_path / "cache", max_bytes=3 * size + size // 2)
+        for index in range(5):
+            path = cache.store(f"{index:064x}", trace)
+            stamp = time.time() - 100 + index
+            os.utime(path, (stamp, stamp))
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        survivors = {path.name for path in cache._entry_paths()}
+        assert survivors == {f"{index:064x}.trace.bin" for index in (2, 3, 4)}
+
+    def test_hits_refresh_recency(self, tmp_path):
+        import os
+        import time
+
+        program = build_benchmark("gzip")
+        trace = self._trace()
+        probe = TraceCache(tmp_path / "probe")
+        size = probe.store("f" * 64, trace).stat().st_size
+        cache = TraceCache(tmp_path / "cache", max_bytes=2 * size + size // 2)
+        fingerprint_a = trace_fingerprint(program, 1_000)
+        path_a = cache.store(fingerprint_a, trace)
+        path_b = cache.store("b" * 64, trace)
+        for offset, path in ((-100, path_a), (-50, path_b)):
+            stamp = time.time() + offset
+            os.utime(path, (stamp, stamp))
+        # The hit re-touches A, so the later store evicts B instead.
+        assert cache.load(fingerprint_a, program) is not None
+        cache.store("c" * 64, trace)
+        survivors = {path.name for path in cache._entry_paths()}
+        assert survivors == {f"{fingerprint_a}.trace.bin", "c" * 64 + ".trace.bin"}
+
+    def test_cache_stats_reports_traffic_and_size(self, tmp_path):
+        program = build_benchmark("gzip")
+        trace = self._trace()
+        cache = TraceCache(tmp_path, max_bytes=1 << 30)
+        fingerprint = trace_fingerprint(program, 1_000)
+        cache.store(fingerprint, trace)
+        assert cache.load(fingerprint, program) is not None
+        assert cache.load("0" * 64, program) is None
+        report = cache.cache_stats()
+        assert report["traces"] == 1
+        assert report["total_bytes"] > 0
+        assert report["max_bytes"] == 1 << 30
+        assert report["hits"] == 1
+        assert report["misses"] == 1
+        assert report["stores"] == 1
+        assert report["evictions"] == 0
+
+    def test_rejects_nonpositive_byte_caps(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceCache(tmp_path, max_bytes=0)
 
 
 class TestTraceFingerprint:
