@@ -71,6 +71,18 @@ def print_cache_stats(runner) -> None:
         )
 
 
+def _shard_overlap(value: str):
+    """argparse type for --shard-overlap: 'full' or an entry count."""
+    if value == "full":
+        return "full"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be 'full' or an integer entry count, got {value!r}"
+        )
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -103,6 +115,46 @@ def main(argv: list[str] | None = None) -> None:
         "REPRO_TRACE_WINDOW or ~16k; 0 forces monolithic decode)",
     )
     parser.add_argument("--workers", type=int, default=None, help="pool size")
+    parser.add_argument(
+        "--backend",
+        choices=("local", "queue"),
+        default="local",
+        help="execution backend: in-process/pool, or the shared-directory "
+        "work queue any number of hosts can serve (needs --cache-dir)",
+    )
+    parser.add_argument(
+        "--queue-workers",
+        type=int,
+        default=0,
+        help="local worker subprocesses to spawn for a --backend queue run "
+        "(remote hosts join with: python -m repro.harness.queue <cache-dir>)",
+    )
+    parser.add_argument(
+        "--queue-ttl",
+        type=float,
+        default=60.0,
+        help="heartbeat TTL before a dead worker's job is re-leased (s)",
+    )
+    parser.add_argument(
+        "--shard-windows",
+        type=int,
+        default=None,
+        help="window-shard every cell: measure spans of N trace windows "
+        "replayed in parallel and stitched",
+    )
+    parser.add_argument(
+        "--shard-overlap",
+        type=_shard_overlap,
+        default="full",
+        help="shard warm-up: 'full' (bit-exact stitching) or an entry "
+        "count (approximate, embarrassingly parallel)",
+    )
+    parser.add_argument(
+        "--gc",
+        action="store_true",
+        help="garbage-collect --cache-dir first (orphaned .tmp-* files, "
+        "offline cap enforcement) and print a summary",
+    )
     parser.add_argument("--max-instructions", type=int, default=100_000)
     parser.add_argument("--warmup-instructions", type=int, default=20_000)
     parser.add_argument(
@@ -115,6 +167,21 @@ def main(argv: list[str] | None = None) -> None:
 
     from repro.harness import ParallelSuiteRunner, RunConfig, figures
     from repro.harness.reporting import overall_processor_savings
+
+    if args.gc:
+        from repro.harness.cache import format_gc_summary, gc_cache_tree
+
+        if args.cache_dir is None:
+            parser.error("--gc needs --cache-dir")
+        print(
+            format_gc_summary(
+                gc_cache_tree(
+                    args.cache_dir,
+                    max_entries=args.cache_max_entries,
+                    max_trace_bytes=args.max_trace_bytes,
+                )
+            )
+        )
 
     config_kwargs = dict(
         max_instructions=args.max_instructions,
@@ -129,6 +196,11 @@ def main(argv: list[str] | None = None) -> None:
         cache_max_entries=args.cache_max_entries,
         trace_cache_max_bytes=args.max_trace_bytes,
         trace_window=args.trace_window,
+        backend=args.backend,
+        queue_workers=args.queue_workers,
+        queue_ttl=args.queue_ttl,
+        shard_span_windows=args.shard_windows,
+        shard_overlap=args.shard_overlap,
     )
     runner.run_suite()
     if runner.cache is not None:

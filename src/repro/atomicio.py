@@ -1,0 +1,64 @@
+"""Atomic file publication shared by the caches and the work queue.
+
+Every on-disk artefact in this project — result-cache cells
+(:mod:`repro.harness.cache`), decoded-trace files
+(:mod:`repro.uarch.trace`) and work-queue protocol files
+(:mod:`repro.harness.queue`) — is published the same way: write a
+``.tmp-*`` temp file in the *destination* directory, then ``os.replace``
+it over the final name.  Readers therefore never observe a torn file,
+concurrent writers of the same name resolve to last-writer-wins, and a
+writer killed mid-store leaves only an orphaned temp file.
+
+That orphan contract is load-bearing: the offline garbage collector
+(``python -m repro.harness.cache gc``) identifies killed-writer debris
+purely by the :data:`TMP_PREFIX` name pattern plus age, and the online
+LRU pruners exclude in-flight stores the same way.  Keeping the
+discipline in one helper keeps every writer and the sweeper in
+agreement.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, IO
+
+#: Name prefix of in-flight (or orphaned) writer temp files.  The gc
+#: sweeper and the caches' directory listings match on this.
+TMP_PREFIX = ".tmp-"
+
+
+def publish_atomically(
+    path: str | os.PathLike,
+    write: Callable[[IO], None],
+    binary: bool = False,
+) -> Path:
+    """Write via ``write(handle)`` into a temp file, then rename to ``path``.
+
+    The destination directory is created on demand; the temp file lives
+    in it (``os.replace`` must not cross filesystems).  On any failure
+    the temp file is removed and the exception re-raised — the
+    destination is either fully the old content or fully the new.
+    """
+    path = Path(path)
+    directory = path.parent
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=TMP_PREFIX, suffix=path.suffix
+    )
+    try:
+        if binary:
+            handle = os.fdopen(fd, "wb")
+        else:
+            handle = os.fdopen(fd, "w", encoding="utf-8")
+        with handle:
+            write(handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except FileNotFoundError:
+            pass
+        raise
+    return path

@@ -21,8 +21,20 @@ from repro.harness.experiment import (
     TechniqueMetrics,
     TECHNIQUES,
 )
-from repro.harness.cache import ResultCache, simulation_fingerprint
+from repro.harness.cache import ResultCache, collect_garbage, simulation_fingerprint
 from repro.harness.parallel import ParallelSuiteRunner, SimulationJob
+
+# NOTE: repro.harness.queue is deliberately not imported here — it is a
+# worker entry point (``python -m repro.harness.queue``), and an eager
+# package-level import would make runpy execute the module twice in
+# every worker process.  Import it explicitly where needed.
+from repro.harness.shard import (
+    ShardJob,
+    ShardSpan,
+    compare_sharded_to_sequential,
+    plan_shards,
+    run_sharded,
+)
 from repro.harness import figures
 from repro.harness.figures import FigureData
 from repro.harness.reporting import format_table, overall_processor_savings
@@ -34,9 +46,15 @@ __all__ = [
     "TechniqueMetrics",
     "TECHNIQUES",
     "ResultCache",
+    "collect_garbage",
     "simulation_fingerprint",
     "ParallelSuiteRunner",
     "SimulationJob",
+    "ShardJob",
+    "ShardSpan",
+    "compare_sharded_to_sequential",
+    "plan_shards",
+    "run_sharded",
     "figures",
     "FigureData",
     "format_table",

@@ -23,6 +23,16 @@ changes).
 
 Entries are written atomically (temp file + ``os.replace``) so concurrent
 workers and concurrent processes can share one cache directory safely.
+
+The module doubles as the cache-maintenance CLI for shared directories::
+
+    PYTHONPATH=src python -m repro.harness.cache gc <cache_dir> \\
+        [--max-entries N] [--max-bytes B] [--max-trace-bytes B] [--tmp-age S]
+
+``gc`` sweeps orphaned ``.tmp-*`` writer files (left by processes killed
+mid-store — the online pruners deliberately skip them because a live
+writer may still own one), enforces the LRU caps offline over the result
+directory and its ``traces/`` subdirectory, and prints a summary.
 """
 
 from __future__ import annotations
@@ -33,10 +43,11 @@ import functools
 import hashlib
 import json
 import os
-import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.atomicio import TMP_PREFIX, publish_atomically
 from repro.uarch.stats import SimulationStats
 
 #: Bump when the stored payload layout changes so old entries stop
@@ -99,8 +110,17 @@ def simulation_fingerprint(
     max_instructions: int,
     warmup_instructions: int,
     abella_interval: int,
+    sharding: Optional[dict] = None,
 ) -> str:
-    """SHA-256 digest identifying one simulation cell's full input set."""
+    """SHA-256 digest identifying one simulation cell's full input set.
+
+    ``sharding`` describes a window-sharded execution plan
+    (:mod:`repro.harness.shard`): span size, warm-up overlap and slack.
+    A finite overlap makes the stitched statistics an approximation of
+    the sequential run's, so sharded cells must never share a key with
+    unsharded ones — when set, the plan participates in the digest
+    (``None``, the default, leaves existing keys untouched).
+    """
     payload = {
         "format": CACHE_FORMAT_VERSION,
         "code": _code_digest(),
@@ -113,6 +133,8 @@ def simulation_fingerprint(
         "warmup_instructions": warmup_instructions,
         "abella_interval": abella_interval,
     }
+    if sharding is not None:
+        payload["sharding"] = _canonical(sharding)
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -205,27 +227,16 @@ class ResultCache:
         technique: str = "",
     ) -> Path:
         """Atomically persist ``stats`` under ``fingerprint``."""
-        self.directory.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": CACHE_FORMAT_VERSION,
             "benchmark": benchmark,
             "technique": technique,
             "stats": stats_to_dict(stats),
         }
-        path = self.path_for(fingerprint)
-        fd, temp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
+        path = publish_atomically(
+            self.path_for(fingerprint),
+            lambda handle: json.dump(payload, handle, sort_keys=True),
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(temp_path, path)
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except FileNotFoundError:
-                pass
-            raise
         self.stores += 1
         if self.max_entries is not None:
             self._prune()
@@ -283,3 +294,226 @@ class ResultCache:
 
     def __len__(self) -> int:
         return len(self._entry_paths())
+
+
+# ----------------------------------------------------------------------
+# Offline maintenance: python -m repro.harness.cache gc <dir>
+# ----------------------------------------------------------------------
+#: ``.tmp-*`` files younger than this are presumed to belong to a live
+#: writer and are left alone by default.
+DEFAULT_TMP_MAX_AGE_SECONDS = 3600.0
+
+
+def collect_garbage(
+    directory: str | os.PathLike,
+    pattern: Optional[str] = "*.json",
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    tmp_max_age_seconds: float = DEFAULT_TMP_MAX_AGE_SECONDS,
+    entry_max_age_seconds: Optional[float] = None,
+    now: Optional[float] = None,
+) -> dict:
+    """Sweep one cache directory offline; returns a summary dict.
+
+    Four passes, all tolerant of concurrent writers:
+
+    1. **orphaned writers** — ``.tmp-*`` files older than
+       ``tmp_max_age_seconds`` are deleted.  Atomic stores leave these
+       behind only when the writing process died between ``mkstemp`` and
+       ``os.replace``; the age guard keeps in-flight stores safe.
+    2. **entry age** — with ``entry_max_age_seconds``, entries whose
+       mtime is older are deleted (used for consumed queue completion
+       markers, which otherwise accumulate forever).
+    3. **entry cap** — with ``max_entries``, least-recently-used entries
+       (file mtime; hits re-touch) beyond the cap are deleted.
+    4. **byte cap** — with ``max_bytes``, least-recently-used entries
+       are deleted until the directory's payload fits.
+
+    Entries are files matching ``pattern`` whose names don't start with
+    a dot, i.e. ``*.json`` for a :class:`ResultCache` directory and
+    ``*.trace.bin`` for a :class:`~repro.uarch.trace.TraceCache` one.
+    """
+    directory = Path(directory)
+    now = time.time() if now is None else now
+    summary = {
+        "directory": str(directory),
+        "tmp_removed": 0,
+        "entries_before": 0,
+        "entries_removed": 0,
+        "bytes_before": 0,
+        "bytes_removed": 0,
+    }
+    if not directory.is_dir():
+        return summary
+
+    for path in directory.glob(TMP_PREFIX + "*"):
+        try:
+            if now - path.stat().st_mtime >= tmp_max_age_seconds:
+                path.unlink()
+                summary["tmp_removed"] += 1
+        except OSError:  # pragma: no cover - concurrent removal
+            continue
+
+    entries = []
+    for path in directory.glob(pattern) if pattern else ():
+        if path.name.startswith("."):
+            continue
+        try:
+            stat = path.stat()
+        except OSError:  # pragma: no cover - concurrent removal
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort()
+    summary["entries_before"] = len(entries)
+    summary["bytes_before"] = sum(size for _, size, _ in entries)
+
+    def _remove(victims: list[tuple[float, int, Path]]) -> None:
+        for _, size, path in victims:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            summary["entries_removed"] += 1
+            summary["bytes_removed"] += size
+
+    if entry_max_age_seconds is not None:
+        cutoff = now - entry_max_age_seconds
+        expired = [entry for entry in entries if entry[0] < cutoff]
+        _remove(expired)
+        entries = entries[len(expired):]
+    if max_entries is not None and len(entries) > max_entries:
+        excess = len(entries) - max_entries
+        _remove(entries[:excess])
+        entries = entries[excess:]
+    if max_bytes is not None:
+        total = sum(size for _, size, _ in entries)
+        victims = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            victims.append(entry)
+            total -= entry[1]
+        _remove(victims)
+    return summary
+
+
+#: Consumed completion markers older than this are swept by gc.  A week
+#: comfortably outlives any driver that might still want to fold one,
+#: while bounding ``queue/done`` growth (fingerprints embed the code
+#: digest, so every source change strands one marker per grid cell).
+DEFAULT_DONE_MARKER_MAX_AGE_SECONDS = 7 * 24 * 3600.0
+
+
+def gc_cache_tree(
+    cache_dir: str | os.PathLike,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    max_trace_bytes: Optional[int] = None,
+    tmp_max_age_seconds: float = DEFAULT_TMP_MAX_AGE_SECONDS,
+    done_marker_max_age_seconds: Optional[float] = DEFAULT_DONE_MARKER_MAX_AGE_SECONDS,
+    now: Optional[float] = None,
+) -> list[dict]:
+    """Garbage-collect a shared cache directory and its satellites.
+
+    Covers the result cache at the top level, the decoded-trace cache in
+    ``traces/``, and the work queue's subdirectories.  Live queue
+    protocol files — pending jobs and leases — are never touched (only
+    their orphaned ``.tmp-*`` writer files are); completion markers in
+    ``queue/done`` are swept once older than
+    ``done_marker_max_age_seconds`` (pass None to keep them all), since
+    every driver folds its markers within one run and stale ones only
+    duplicate what the result cache already stores.
+    """
+    cache_dir = Path(cache_dir)
+    summaries = [
+        collect_garbage(
+            cache_dir,
+            "*.json",
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            tmp_max_age_seconds=tmp_max_age_seconds,
+            now=now,
+        ),
+        collect_garbage(
+            cache_dir / "traces",
+            "*.trace.bin",
+            max_bytes=max_trace_bytes,
+            tmp_max_age_seconds=tmp_max_age_seconds,
+            now=now,
+        ),
+    ]
+    for sub in ("pending", "leases", "done", "poison"):
+        queue_dir = cache_dir / "queue" / sub
+        if queue_dir.is_dir():
+            expire = (
+                done_marker_max_age_seconds if sub in ("done", "poison") else None
+            )
+            summaries.append(
+                collect_garbage(
+                    queue_dir,
+                    # pending/leases: temp sweep only — live protocol
+                    # state.  done/poison: consumed markers expire by age.
+                    pattern="*.json" if expire is not None else None,
+                    entry_max_age_seconds=expire,
+                    tmp_max_age_seconds=tmp_max_age_seconds,
+                    now=now,
+                )
+            )
+    return summaries
+
+
+def format_gc_summary(summaries: list[dict]) -> str:
+    """Human-readable one-line-per-directory gc report."""
+    lines = []
+    for s in summaries:
+        kept = s["entries_before"] - s["entries_removed"]
+        kept_bytes = s["bytes_before"] - s["bytes_removed"]
+        lines.append(
+            f"gc {s['directory']}: removed {s['tmp_removed']} orphaned tmp, "
+            f"{s['entries_removed']} entries ({s['bytes_removed'] / 1024:.1f} KiB); "
+            f"kept {kept} entries ({kept_bytes / 1024:.1f} KiB)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Maintenance CLI for shared simulation-cache directories"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    gc = sub.add_parser("gc", help="sweep orphaned temp files, enforce caps offline")
+    gc.add_argument("cache_dir", help="shared cache directory")
+    gc.add_argument("--max-entries", type=int, default=None, help="result-cache cap")
+    gc.add_argument("--max-bytes", type=int, default=None, help="result-cache byte cap")
+    gc.add_argument(
+        "--max-trace-bytes", type=int, default=None, help="trace-cache byte cap"
+    )
+    gc.add_argument(
+        "--tmp-age",
+        type=float,
+        default=DEFAULT_TMP_MAX_AGE_SECONDS,
+        help="minimum age (s) before a .tmp-* writer file counts as orphaned",
+    )
+    gc.add_argument(
+        "--done-age",
+        type=float,
+        default=DEFAULT_DONE_MARKER_MAX_AGE_SECONDS,
+        help="age (s) after which consumed queue completion markers are swept",
+    )
+    args = parser.parse_args(argv)
+    summaries = gc_cache_tree(
+        args.cache_dir,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_trace_bytes=args.max_trace_bytes,
+        tmp_max_age_seconds=args.tmp_age,
+        done_marker_max_age_seconds=args.done_age,
+    )
+    print(format_gc_summary(summaries))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ technique run with the baseline run of the same benchmark and derives:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core import CompilerConfig, CompilationResult, compile_program
 from repro.power import EnergyParams, PowerReport, build_power_report, power_savings
@@ -123,6 +123,26 @@ class SuiteRunner:
         self._compilations: dict[tuple[str, str], CompilationResult] = {}
 
     # ------------------------------------------------------------------
+    def grid(
+        self,
+        techniques: Iterable[str] = TECHNIQUES,
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> list[tuple[str, str]]:
+        """The (benchmark, technique) cells of one campaign, in report order.
+
+        Benchmarks iterate outermost, techniques innermost — the order
+        every figure presents and every execution backend preserves.
+        Defaults come from the campaign configuration.
+        """
+        techniques = tuple(techniques)  # survive one-shot iterators
+        if benchmarks is None:
+            benchmarks = self.config.benchmarks
+        return [
+            (benchmark, technique)
+            for benchmark in benchmarks
+            for technique in techniques
+        ]
+
     def compilation(self, benchmark: str, mode: str) -> CompilationResult:
         """Compile ``benchmark`` with hint encoding ``mode`` (cached)."""
         key = (benchmark, mode)

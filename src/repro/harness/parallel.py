@@ -58,15 +58,36 @@ Semantics:
   ``trace_cache_max_bytes`` to cap the trace directory; stores prune
   least-recently-used entries (hits refresh recency via file mtimes, so
   the bounds hold across processes sharing the directory).
+* **Backends** — ``backend="local"`` (the default) runs uncached cells
+  in-process or over a ``ProcessPoolExecutor``; ``backend="queue"``
+  publishes them to the file-backed work queue inside the shared cache
+  directory (:mod:`repro.harness.queue`) so any number of worker
+  processes — this host or others sharing the directory — lease,
+  heartbeat and complete them.  The runner blocks on completion
+  markers, re-leases jobs whose worker stopped heartbeating, folds each
+  marker's trace-cache counter deltas, and (``queue_assist``, on by
+  default) pitches in on unclaimed jobs itself so a queue with no
+  external workers still drains.  Results are bit-identical between
+  backends for any worker count.
+* **Window sharding** — ``shard_span_windows=N`` splits every cell's
+  budget into measure spans of N trace windows
+  (:mod:`repro.harness.shard`), fans the shards over the chosen backend
+  and stitches the per-shard statistics.  With the default
+  ``shard_overlap="full"`` each shard warms up over the entire
+  preceding trace and the stitched statistics are bit-identical to the
+  sequential run's; a finite overlap (entries) trades a small,
+  validated approximation for genuinely parallel work.  Sharded cells
+  are cached under a fingerprint that includes the sharding plan.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from repro.core import compile_program
 from repro.harness.cache import ResultCache, simulation_fingerprint, stats_from_dict, stats_to_dict
@@ -168,6 +189,21 @@ def run_simulation_job(job: SimulationJob, program=None, trace_cache=None) -> di
     return payload
 
 
+def execute_job(job) -> dict:
+    """Pool-worker dispatcher over the two picklable job shapes.
+
+    ``pool.map`` needs one top-level callable; grids fan out
+    :class:`SimulationJob` cells, window-sharded grids fan out
+    :class:`~repro.harness.shard.ShardJob` spans, and both return the
+    same ``{"stats": ..., "trace_cache": ...}`` payload contract.
+    """
+    if isinstance(job, SimulationJob):
+        return run_simulation_job(job)
+    from repro.harness.shard import run_shard_job
+
+    return run_shard_job(job)
+
+
 class ParallelSuiteRunner(SuiteRunner):
     """Drop-in :class:`SuiteRunner` with fan-out and a persistent cache.
 
@@ -175,6 +211,9 @@ class ParallelSuiteRunner(SuiteRunner):
         workers: process-pool size (1 means run jobs in-process).
         cache: the :class:`ResultCache`, or None when running uncached.
         simulations_run: cells actually simulated by this runner.
+        backend: ``"local"`` (in-process / process pool) or ``"queue"``
+            (the shared-directory work queue of
+            :mod:`repro.harness.queue`).
     """
 
     def __init__(
@@ -186,13 +225,49 @@ class ParallelSuiteRunner(SuiteRunner):
         trace_cache_dir: Optional[str] = None,
         trace_cache_max_bytes: Optional[int] = None,
         trace_window: Optional[int] = None,
+        backend: str = "local",
+        queue_workers: int = 0,
+        queue_ttl: float = 60.0,
+        queue_poll: float = 0.2,
+        queue_assist: bool = True,
+        queue_timeout: Optional[float] = 600.0,
+        shard_span_windows: Optional[int] = None,
+        shard_overlap: Union[str, int] = "full",
+        shard_slack: Optional[int] = None,
     ):
         super().__init__(config)
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS") or 0) or os.cpu_count() or 1
         if workers < 1:
             raise ValueError("workers must be a positive integer")
+        if backend not in ("local", "queue"):
+            raise ValueError(f"backend must be 'local' or 'queue', got {backend!r}")
+        if backend == "queue" and cache_dir is None:
+            raise ValueError(
+                "backend='queue' needs cache_dir: the queue lives inside the "
+                "shared cache directory the workers mount"
+            )
+        if queue_workers < 0:
+            raise ValueError("queue_workers must be a non-negative integer")
         self.workers = workers
+        self.backend = backend
+        self.queue_workers = queue_workers
+        self.queue_ttl = queue_ttl
+        self.queue_poll = queue_poll
+        self.queue_assist = queue_assist
+        self.queue_timeout = queue_timeout
+        # Window sharding: resolved to an entry-count plan that also
+        # participates in sharded cells' cache fingerprints.
+        if shard_span_windows is not None:
+            from repro.harness.shard import DEFAULT_SHARD_SLACK, shard_span_entries
+
+            self._sharding: Optional[dict] = {
+                "span_entries": shard_span_entries(shard_span_windows, trace_window),
+                "overlap": shard_overlap,
+                "slack": DEFAULT_SHARD_SLACK if shard_slack is None else shard_slack,
+            }
+        else:
+            self._sharding = None
         self.cache = (
             ResultCache(cache_dir, max_entries=cache_max_entries)
             if cache_dir is not None
@@ -250,9 +325,7 @@ class ParallelSuiteRunner(SuiteRunner):
         job = self._job(benchmark, technique)
         stats = self._cached_stats(job)
         if stats is None:
-            payload = run_simulation_job(job, self._program_for(job), self.trace_cache)
-            self._fold_trace_counters(payload)
-            stats = stats_from_dict(payload["stats"])
+            stats = self._execute_pending([job])[0]
             self.simulations_run += 1
             self._store(job, stats)
         result = self._build_result(job, stats)
@@ -264,19 +337,13 @@ class ParallelSuiteRunner(SuiteRunner):
         techniques: Iterable[str] = TECHNIQUES,
         benchmarks: Optional[Iterable[str]] = None,
     ) -> dict[tuple[str, str], BenchmarkResult]:
-        """Populate the whole grid, fanning uncached cells over the pool.
+        """Populate the whole grid, fanning uncached cells over the backend.
 
         Returns the results in deterministic grid order (benchmarks outer,
-        techniques inner) regardless of worker completion order.
+        techniques inner) regardless of worker completion order — on the
+        local pool, on the shared work queue, sharded or not.
         """
-        techniques = tuple(techniques)  # survive one-shot iterators
-        if benchmarks is None:
-            benchmarks = self.config.benchmarks
-        grid = [
-            (benchmark, technique)
-            for benchmark in benchmarks
-            for technique in techniques
-        ]
+        grid = self.grid(techniques, benchmarks)
         pending: list[SimulationJob] = []
         stats_by_key: dict[tuple[str, str], SimulationStats] = {}
         for benchmark, technique in grid:
@@ -290,18 +357,9 @@ class ParallelSuiteRunner(SuiteRunner):
                 pending.append(job)
 
         if pending:
-            if self.workers == 1:
-                payloads = [
-                    run_simulation_job(job, self._program_for(job), self.trace_cache)
-                    for job in pending
-                ]
-            else:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    payloads = list(pool.map(run_simulation_job, pending))
+            stats_list = self._execute_pending(pending)
             self.simulations_run += len(pending)
-            for job, payload in zip(pending, payloads):
-                self._fold_trace_counters(payload)
-                stats = stats_from_dict(payload["stats"])
+            for job, stats in zip(pending, stats_list):
                 self._store(job, stats)
                 stats_by_key[(job.benchmark, job.technique)] = stats
 
@@ -313,21 +371,222 @@ class ParallelSuiteRunner(SuiteRunner):
         return {key: self._results[key] for key in grid}
 
     # ------------------------------------------------------------------
-    def _program_for(self, job: SimulationJob):
+    # Execution backends
+    # ------------------------------------------------------------------
+    def _execute_pending(self, pending: list[SimulationJob]) -> list[SimulationStats]:
+        """Simulate the uncached cells, in order, over the active backend."""
+        if self._sharding is not None:
+            return self._execute_pending_sharded(pending)
+        payloads = self._execute_jobs(pending)
+        stats_list = []
+        for payload in payloads:
+            self._fold_trace_counters(payload)
+            stats_list.append(stats_from_dict(payload["stats"]))
+        return stats_list
+
+    def _execute_pending_sharded(
+        self, pending: list[SimulationJob]
+    ) -> list[SimulationStats]:
+        """Fan every cell's measure spans over the backend and stitch.
+
+        Planning happens here, once per cell: the plan needs the trace's
+        commit mask, whose emulation lands in the shared trace cache so
+        the shard executors (pool workers or queue workers on other
+        hosts) replay it instead of re-emulating.
+        """
+        from repro.harness.shard import ShardJob, plan_shards, stitch_payloads
+
+        sharding = self._sharding
+        shard_jobs: list[ShardJob] = []
+        groups: list[tuple[int, int]] = []
+        for job in pending:
+            spans = plan_shards(
+                self._program_for(job),
+                job.config.max_instructions,
+                job.config.warmup_instructions,
+                sharding["span_entries"],
+                overlap=sharding["overlap"],
+                slack=sharding["slack"],
+                cache=self.trace_cache,
+            )
+            start = len(shard_jobs)
+            cell_fingerprint = self._fingerprint(job)
+            for span in spans:
+                shard_jobs.append(
+                    ShardJob(
+                        job.benchmark,
+                        job.technique,
+                        job.config,
+                        span,
+                        cell_fingerprint=cell_fingerprint,
+                        trace_cache_dir=self.trace_cache_dir,
+                        trace_window=self.trace_window,
+                        trace_cache_max_bytes=self.trace_cache_max_bytes,
+                    )
+                )
+            groups.append((start, len(spans)))
+        payloads = self._execute_jobs(shard_jobs)
+        for payload in payloads:
+            self._fold_trace_counters(payload)
+        return [
+            stitch_payloads(payloads[start : start + count])
+            for start, count in groups
+        ]
+
+    def _execute_jobs(self, jobs: list) -> list[dict]:
+        """Run a list of (simulation or shard) jobs; payloads in order."""
+        if self.backend == "queue":
+            return self._execute_jobs_queue(jobs)
+        if self.workers == 1:
+            return [self._execute_in_process(job) for job in jobs]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(execute_job, jobs))
+
+    def _execute_in_process(self, job) -> dict:
+        """One job in this process, reusing the runner's memos and cache."""
+        program = self._program_for(job)
+        if isinstance(job, SimulationJob):
+            return run_simulation_job(job, program, self.trace_cache)
+        from repro.harness.shard import run_shard_job
+
+        return run_shard_job(job, program, self.trace_cache)
+
+    def _execute_jobs_queue(self, jobs: list) -> list[dict]:
+        """Publish jobs to the shared work queue and await their markers.
+
+        Spawns ``queue_workers`` local worker subprocesses for the
+        duration of the batch (external workers on other hosts join by
+        simply running ``python -m repro.harness.queue <cache_dir>``),
+        re-leases jobs whose heartbeat lapsed, and — with
+        ``queue_assist`` — claims unassigned jobs itself between polls
+        so progress never depends on anyone else being alive.
+        """
+        from repro.harness.queue import WorkQueue, spawn_local_workers
+
+        queue = WorkQueue(self.cache.directory, ttl=self.queue_ttl)
+        fingerprints = [queue.enqueue(job) for job in jobs]
+        procs = (
+            spawn_local_workers(
+                self.cache.directory,
+                self.queue_workers,
+                ttl=self.queue_ttl,
+                poll_interval=self.queue_poll,
+            )
+            if self.queue_workers
+            else []
+        )
+        try:
+            markers = self._await_markers(queue, fingerprints)
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except Exception:  # pragma: no cover - stuck worker
+                    proc.kill()
+        payloads = []
+        for job, fingerprint in zip(jobs, fingerprints):
+            marker = markers[fingerprint]
+            if marker.get("error") or marker.get("payload") is None:
+                raise RuntimeError(
+                    f"queue job {marker.get('benchmark')}/{marker.get('technique')} "
+                    f"failed on worker {marker.get('worker')!r}:\n{marker.get('error')}"
+                )
+            payloads.append(marker["payload"])
+        return payloads
+
+    def _await_markers(self, queue, fingerprints: list[str]) -> dict[str, dict]:
+        """Poll for completion markers; ``queue_timeout`` bounds *stall*.
+
+        The timeout is an inactivity bound, not a whole-batch deadline:
+        it re-arms every time a marker arrives, a lease heartbeats, or
+        the assist path executes a job, so a large grid served by slow
+        but live workers never trips it — only a genuinely wedged queue
+        (nothing pending, nothing beating, nothing arriving) does.
+        """
+        from repro.harness.queue import _default_worker_id, process_claimed_job
+
+        worker_id = "driver-" + _default_worker_id()
+        markers: dict[str, dict] = {}
+        remaining = set(fingerprints)
+        last_progress = time.monotonic()
+        last_beat: Optional[float] = None
+        while remaining:
+            progressed = False
+            # One directory listing per tick; open only fresh arrivals.
+            for fingerprint in remaining & queue.list_done():
+                marker = queue.done_marker(fingerprint)
+                if marker is not None:
+                    markers[fingerprint] = marker
+                    remaining.discard(fingerprint)
+                    progressed = True
+            if not remaining:
+                break
+            queue.requeue_expired()
+            if self.queue_assist:
+                claimed = queue.claim(worker_id)
+                if claimed is not None:
+                    process_claimed_job(queue, claimed, worker_id)
+                    progressed = True
+            # A live worker mid-simulation produces no markers for a
+            # while, but its heartbeat moves the youngest-lease age.
+            beat = queue.youngest_lease_age()
+            if beat is not None and (last_beat is None or beat < last_beat):
+                progressed = True
+            last_beat = beat
+            now = time.monotonic()
+            if progressed:
+                last_progress = now
+            else:
+                if (
+                    self.queue_timeout is not None
+                    and now - last_progress > self.queue_timeout
+                ):
+                    raise TimeoutError(
+                        f"queue backend stalled for {self.queue_timeout:.0f}s "
+                        f"awaiting {len(remaining)} job(s); queue status: "
+                        f"{queue.status()}"
+                    )
+                time.sleep(self.queue_poll)
+        return markers
+
+    # ------------------------------------------------------------------
+    def _program_for(self, job):
         """The job's program, via the runner's compilation memo in-process."""
         if job.technique in SOFTWARE_TECHNIQUES:
             return self.compilation(job.benchmark, job.technique).instrumented_program
         return build_benchmark(job.benchmark)
 
+    def _fingerprint(self, job: SimulationJob) -> str:
+        """The cell's cache key; sharded runs key on the plan as well."""
+        if self._sharding is None:
+            return job.fingerprint()
+        config = job.config
+        return simulation_fingerprint(
+            ALL_TRAITS[job.benchmark],
+            job.technique,
+            config.compiler_config,
+            config.processor_config,
+            config.energy_params,
+            config.max_instructions,
+            config.warmup_instructions,
+            config.abella_interval,
+            sharding=self._sharding,
+        )
+
     def _cached_stats(self, job: SimulationJob) -> Optional[SimulationStats]:
         if self.cache is None:
             return None
-        return self.cache.load(job.fingerprint())
+        return self.cache.load(self._fingerprint(job))
 
     def _store(self, job: SimulationJob, stats: SimulationStats) -> None:
         if self.cache is not None:
             self.cache.store(
-                job.fingerprint(), stats, benchmark=job.benchmark, technique=job.technique
+                self._fingerprint(job),
+                stats,
+                benchmark=job.benchmark,
+                technique=job.technique,
             )
 
     def _build_result(self, job: SimulationJob, stats: SimulationStats) -> BenchmarkResult:

@@ -1,0 +1,681 @@
+"""Distributed work-queue execution over a shared cache directory.
+
+The parallel experiment engine's process pool stops at one host.  This
+module removes that ceiling with the smallest possible coordination
+substrate: a **file-backed work queue** living inside the shared cache
+directory itself, so any number of worker processes — on one machine or
+many, over NFS — cooperate through nothing but the filesystem they
+already share for results and traces (the cluster-of-commodity-hosts
+model of Baker et al.'s cluster-computing white paper).
+
+Queue file protocol
+-------------------
+
+All queue state lives under ``<cache_dir>/queue/``::
+
+    queue/
+      pending/<fingerprint>.json   jobs waiting for a worker
+      leases/<fingerprint>.json    jobs being executed (mtime = heartbeat)
+      done/<fingerprint>.json      completion markers (stats + counter deltas)
+      poison/<fingerprint>.json    undecodable job envelopes, set aside
+
+* **Envelope** — every job file is a one-object JSON envelope:
+  ``{"format": 1, "kind": "simulation"|"shard", "fingerprint": ...,
+  "benchmark": ..., "technique": ..., "job": <base64 pickle>}``.  The
+  human-readable fields make the queue greppable; the pickled job is the
+  exact :class:`~repro.harness.parallel.SimulationJob` /
+  :class:`~repro.harness.shard.ShardJob` the process pool already
+  ships between processes.
+* **Enqueue** — write the envelope to a ``.tmp-*`` file and
+  ``os.replace`` it into ``pending/`` (the same atomicity discipline as
+  ``ResultCache.store``).  Enqueueing is idempotent: a fingerprint that
+  is already pending, leased or done is left alone.
+* **Lease** — a worker claims a job with ``os.rename(pending/f,
+  leases/f)``.  Rename is atomic; when several workers race for one
+  file, exactly one rename succeeds and the losers see
+  ``FileNotFoundError`` and move on.  The winner rewrites the lease with
+  its worker id (atomic replace) and then **heartbeats** it by touching
+  the file's mtime while the simulation runs.
+* **Crash recovery** — anyone (other workers, the runner) may call
+  :meth:`WorkQueue.requeue_expired`: a lease whose mtime is older than
+  the TTL is pushed back with ``os.rename(leases/f, pending/f)`` —
+  again, exactly one reclaimer wins.  If the dead worker's job already
+  has a completion marker the lease is simply dropped.
+* **Complete** — the worker publishes the result through the existing
+  content-addressed caches (``ResultCache.store`` for grid cells; trace
+  stores happened during the run), then atomically writes
+  ``done/<fingerprint>.json`` carrying the full job payload — the
+  statistics and the worker's trace-cache counter deltas — and unlinks
+  its lease.  Completions are **idempotent**: a job executed twice
+  (a worker presumed dead that was merely slow) produces byte-identical
+  payloads for the same fingerprint, and ``os.replace`` makes the last
+  writer win without ever exposing a torn file.
+* **Failures** — a job whose execution *raises* (as opposed to a worker
+  dying) writes a marker with an ``"error"`` field instead; the runner
+  surfaces it instead of waiting forever.  An envelope that cannot be
+  decoded is moved to ``poison/`` so it cannot wedge the queue.
+
+Counter exactness: each marker carries the executing worker's
+trace-cache hit/miss/store/eviction deltas for that job, and the runner
+folds exactly one marker per job into its own cache — ``--cache-stats``
+stays exact for any number of workers on any number of hosts.
+
+Run a worker with::
+
+    PYTHONPATH=src python -m repro.harness.queue <cache_dir> \\
+        [--ttl 60] [--poll 0.2] [--max-jobs N] [--drain] [--status]
+
+``--drain`` exits once the queue has stayed empty for a grace period;
+the default is to serve forever (a daemon on each grid host).
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import os
+import pickle
+import random
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.atomicio import publish_atomically
+from repro.harness.cache import ResultCache, stats_from_dict
+from repro.harness.parallel import SimulationJob, execute_job
+
+#: Bump when the envelope/marker layout changes; foreign-format files
+#: are poisoned (envelopes) or ignored (markers), never trusted.
+QUEUE_FORMAT_VERSION = 1
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{random.randrange(16**4):04x}"
+
+
+def _atomic_write_json(directory: Path, path: Path, payload: dict) -> None:
+    """Publish ``payload`` to ``path`` with the shared atomic discipline."""
+    publish_atomically(
+        path, lambda handle: json.dump(payload, handle, sort_keys=True)
+    )
+
+
+@dataclass
+class ClaimedJob:
+    """A leased job: the decoded work item plus its lease bookkeeping."""
+
+    fingerprint: str
+    kind: str
+    job: object
+    envelope: dict
+    lease_path: Path
+
+
+class WorkQueue:
+    """File-backed job queue inside a shared cache directory.
+
+    Attributes:
+        cache_dir: the shared cache directory (results at the top level,
+            ``traces/`` below it, ``queue/`` for this module's state).
+        ttl: seconds without a heartbeat before a lease counts as dead.
+        enqueued / claimed / completed / requeued: this process's
+            traffic counters (for tests and status reports).
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, ttl: float = 60.0):
+        if ttl <= 0:
+            raise ValueError("ttl must be a positive number of seconds")
+        self.cache_dir = Path(cache_dir)
+        self.root = self.cache_dir / "queue"
+        self.pending_dir = self.root / "pending"
+        self.leases_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        self.poison_dir = self.root / "poison"
+        # Create the protocol directories once, up front: the rename
+        # choreography (claim, requeue) assumes both endpoints exist,
+        # and doing it here keeps mkdir out of the per-claim hot loop.
+        for directory in (
+            self.pending_dir,
+            self.leases_dir,
+            self.done_dir,
+            self.poison_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.ttl = ttl
+        self.enqueued = 0
+        self.claimed = 0
+        self.completed = 0
+        self.requeued = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def pending_path(self, fingerprint: str) -> Path:
+        return self.pending_dir / f"{fingerprint}.json"
+
+    def lease_path(self, fingerprint: str) -> Path:
+        return self.leases_dir / f"{fingerprint}.json"
+
+    def done_path(self, fingerprint: str) -> Path:
+        return self.done_dir / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, job, kind: Optional[str] = None) -> str:
+        """Publish ``job`` for any worker to claim; idempotent.
+
+        ``job`` must expose ``fingerprint()`` and pickle cleanly (both
+        :class:`SimulationJob` and :class:`~repro.harness.shard.ShardJob`
+        do).  A fingerprint that is already pending, leased or
+        successfully completed is left untouched, so re-running a driver
+        against a half-served queue never duplicates work.  A marker
+        recording an *error* is retryable, not terminal: it is consumed
+        here (deleted) and the job queued afresh — otherwise one
+        transient worker failure (disk full, OOM) would poison its
+        fingerprint forever.
+        """
+        if kind is None:
+            kind = "simulation" if isinstance(job, SimulationJob) else "shard"
+        fingerprint = job.fingerprint()
+        marker = self.done_marker(fingerprint)
+        if marker is not None:
+            if "error" not in marker:
+                return fingerprint
+            try:
+                os.unlink(self.done_path(fingerprint))
+            except OSError:  # pragma: no cover - concurrent retry
+                pass
+        if (
+            self.lease_path(fingerprint).exists()
+            or self.pending_path(fingerprint).exists()
+        ):
+            return fingerprint
+        envelope = {
+            "format": QUEUE_FORMAT_VERSION,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "benchmark": getattr(job, "benchmark", ""),
+            "technique": getattr(job, "technique", ""),
+            "job": base64.b64encode(pickle.dumps(job)).decode("ascii"),
+        }
+        _atomic_write_json(self.pending_dir, self.pending_path(fingerprint), envelope)
+        self.enqueued += 1
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedJob]:
+        """Atomically lease one pending job; None when nothing is claimable.
+
+        Candidates are tried in random order so a fleet of workers
+        scanning the same directory mostly avoids colliding on one file;
+        the rename makes any remaining collision safe (one winner).
+        """
+        worker_id = worker_id or _default_worker_id()
+        try:
+            names = [
+                name
+                for name in os.listdir(self.pending_dir)
+                if name.endswith(".json") and not name.startswith(".")
+            ]
+        except FileNotFoundError:
+            return None
+        random.shuffle(names)
+        for name in names:
+            pending = self.pending_dir / name
+            lease = self.leases_dir / name
+            try:
+                os.rename(pending, lease)
+            except FileNotFoundError:
+                continue  # another worker won the race
+            except OSError:
+                continue
+            # Rename preserves the pending file's mtime, which may
+            # already be TTL-stale for a job that queued a while; start
+            # the heartbeat clock *now*, before decoding, so a sweeper
+            # cannot reclaim the lease out from under the winner.
+            try:
+                os.utime(lease)
+            except OSError:  # pragma: no cover - reclaimed in the gap
+                continue
+            claimed = self._decode_lease(lease, worker_id)
+            if claimed is not None:
+                self.claimed += 1
+                return claimed
+        return None
+
+    def _decode_lease(self, lease: Path, worker_id: str) -> Optional[ClaimedJob]:
+        """Decode a freshly won lease, poisoning undecodable envelopes."""
+        try:
+            envelope = json.loads(lease.read_text(encoding="utf-8"))
+            if envelope.get("format") != QUEUE_FORMAT_VERSION:
+                raise ValueError("foreign queue envelope format")
+            fingerprint = envelope["fingerprint"]
+            kind = envelope["kind"]
+            if kind not in ("simulation", "shard"):
+                raise ValueError(f"unknown queue job kind {kind!r}")
+            job = pickle.loads(base64.b64decode(envelope["job"]))
+        except Exception:
+            try:
+                os.replace(lease, self.poison_dir / lease.name)
+            except OSError:
+                pass
+            return None
+        # Stamp the winner's identity (observability) and refresh the
+        # heartbeat; the utime right after the winning rename keeps the
+        # lease fresh through this decode, so only an executing worker
+        # that later stops heartbeating can lose it.
+        envelope["worker"] = worker_id
+        envelope["leased_at"] = time.time()
+        _atomic_write_json(self.leases_dir, lease, envelope)
+        return ClaimedJob(
+            fingerprint=fingerprint,
+            kind=kind,
+            job=job,
+            envelope=envelope,
+            lease_path=lease,
+        )
+
+    def heartbeat(self, claimed: ClaimedJob) -> bool:
+        """Refresh the lease's liveness; False when the lease was lost."""
+        try:
+            os.utime(claimed.lease_path)
+            return True
+        except OSError:
+            return False
+
+    def release(self, claimed: ClaimedJob) -> None:
+        """Push a claimed-but-unfinished job back to pending."""
+        try:
+            os.rename(claimed.lease_path, self.pending_dir / claimed.lease_path.name)
+        except OSError:
+            pass
+
+    def complete(
+        self,
+        claimed: ClaimedJob,
+        payload: Optional[dict],
+        worker_id: str = "",
+        error: Optional[str] = None,
+    ) -> None:
+        """Publish the job's completion marker and drop the lease.
+
+        Duplicate completions (a re-leased job finishing twice) are
+        harmless: identical fingerprints produce identical payloads and
+        the atomic replace makes the last writer win.
+        """
+        marker = {
+            "format": QUEUE_FORMAT_VERSION,
+            "fingerprint": claimed.fingerprint,
+            "kind": claimed.kind,
+            "benchmark": claimed.envelope.get("benchmark", ""),
+            "technique": claimed.envelope.get("technique", ""),
+            "worker": worker_id,
+            "payload": payload,
+        }
+        if error is not None:
+            marker["error"] = error
+        _atomic_write_json(self.done_dir, self.done_path(claimed.fingerprint), marker)
+        self.completed += 1
+        try:
+            os.unlink(claimed.lease_path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Shared maintenance
+    # ------------------------------------------------------------------
+    def requeue_expired(self, now: Optional[float] = None) -> list[str]:
+        """Re-lease jobs whose worker stopped heartbeating; return them.
+
+        A lease older than the TTL either belongs to a dead worker (its
+        job must run again) or to one that already finished (drop the
+        lease).  The rename back to ``pending/`` is atomic, so when many
+        processes sweep concurrently each expired lease is requeued
+        exactly once.
+        """
+        now = time.time() if now is None else now
+        requeued: list[str] = []
+        try:
+            names = [
+                name
+                for name in os.listdir(self.leases_dir)
+                if name.endswith(".json") and not name.startswith(".")
+            ]
+        except FileNotFoundError:
+            return requeued
+        for name in names:
+            lease = self.leases_dir / name
+            try:
+                age = now - lease.stat().st_mtime
+            except OSError:
+                continue
+            if age <= self.ttl:
+                continue
+            fingerprint = name[: -len(".json")]
+            if self.done_path(fingerprint).exists():
+                try:
+                    os.unlink(lease)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.rename(lease, self.pending_dir / name)
+            except OSError:
+                continue  # another sweeper won
+            requeued.append(fingerprint)
+            self.requeued += 1
+        return requeued
+
+    def list_done(self) -> set[str]:
+        """Fingerprints with a completion marker — one directory listing.
+
+        The driver's wait loop calls this every poll tick and opens only
+        the markers that newly appeared, instead of attempting one file
+        read per outstanding fingerprint per tick (which multiplies into
+        thousands of per-second metadata operations on the NFS-mounted
+        directories this queue targets).
+        """
+        try:
+            return {
+                name[: -len(".json")]
+                for name in os.listdir(self.done_dir)
+                if name.endswith(".json") and not name.startswith(".")
+            }
+        except FileNotFoundError:
+            return set()
+
+    def youngest_lease_age(self) -> Optional[float]:
+        """Age of the most recently heartbeaten lease; None when none.
+
+        Drops towards zero whenever any worker heartbeats or claims —
+        the liveness signal behind the driver's stall timeout — at the
+        cost of one directory listing plus one stat per lease.
+        """
+        youngest: Optional[float] = None
+        try:
+            now = time.time()
+            for name in os.listdir(self.leases_dir):
+                if name.startswith(".") or not name.endswith(".json"):
+                    continue
+                try:
+                    age = now - (self.leases_dir / name).stat().st_mtime
+                except OSError:
+                    continue
+                youngest = age if youngest is None else min(youngest, age)
+        except FileNotFoundError:
+            pass
+        return youngest
+
+    def done_marker(self, fingerprint: str) -> Optional[dict]:
+        """The completion marker for ``fingerprint``, or None.
+
+        A malformed or foreign marker reads as None — the job will be
+        waited on (and eventually re-leased), never crashed on.
+        """
+        try:
+            marker = json.loads(
+                self.done_path(fingerprint).read_text(encoding="utf-8")
+            )
+        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(marker, dict) or marker.get("format") != QUEUE_FORMAT_VERSION:
+            return None
+        return marker
+
+    def status(self) -> dict:
+        """Pending/leased/done counts plus lease-age extremes.
+
+        ``oldest_lease_age`` spots dying workers (it approaches the TTL
+        as heartbeats stop); ``youngest_lease_age`` drops whenever *any*
+        worker heartbeats, which the driver uses as a liveness signal
+        for its stall timeout.
+        """
+        def _count(directory: Path) -> int:
+            try:
+                return sum(
+                    1
+                    for name in os.listdir(directory)
+                    if name.endswith(".json") and not name.startswith(".")
+                )
+            except FileNotFoundError:
+                return 0
+
+        oldest: Optional[float] = None
+        youngest: Optional[float] = None
+        try:
+            now = time.time()
+            for name in os.listdir(self.leases_dir):
+                if name.startswith(".") or not name.endswith(".json"):
+                    continue
+                try:
+                    age = now - (self.leases_dir / name).stat().st_mtime
+                except OSError:
+                    continue
+                oldest = age if oldest is None else max(oldest, age)
+                youngest = age if youngest is None else min(youngest, age)
+        except FileNotFoundError:
+            pass
+        return {
+            "directory": str(self.root),
+            "pending": _count(self.pending_dir),
+            "leased": _count(self.leases_dir),
+            "done": _count(self.done_dir),
+            "poisoned": _count(self.poison_dir),
+            "oldest_lease_age": oldest,
+            "youngest_lease_age": youngest,
+            "ttl": self.ttl,
+        }
+
+    def is_idle(self) -> bool:
+        """True when nothing is pending and nothing is leased."""
+        status = self.status()
+        return status["pending"] == 0 and status["leased"] == 0
+
+
+# ----------------------------------------------------------------------
+# Job execution (shared by workers and the runner's assist path)
+# ----------------------------------------------------------------------
+def execute_queue_job(claimed: ClaimedJob) -> dict:
+    """Run one claimed job and return its payload dict.
+
+    Job-shape dispatch lives in
+    :func:`repro.harness.parallel.execute_job` — the same dispatcher the
+    process pool uses — so the queue path can never diverge from the
+    pool path; unknown envelope kinds were already poisoned at decode.
+    """
+    return execute_job(claimed.job)
+
+
+def process_claimed_job(
+    queue: WorkQueue, claimed: ClaimedJob, worker_id: str
+) -> bool:
+    """Execute, publish and complete one claimed job.
+
+    Heartbeats the lease from a background thread while the simulation
+    runs (simulations take arbitrarily long; the TTL should not have
+    to).  Grid-cell results are stored into the shared
+    :class:`ResultCache` so later runs hit the cache without consulting
+    the queue at all; the completion marker additionally carries the
+    full payload so the driver is immune to cache eviction races.
+
+    Returns True on success, False when the job raised (an error marker
+    is published either way, so the driver never hangs).
+    """
+    stop = threading.Event()
+    interval = max(0.05, queue.ttl / 4.0)
+
+    def _beat() -> None:
+        while not stop.wait(interval):
+            if not queue.heartbeat(claimed):
+                return  # lease reclaimed; completion stays idempotent
+
+    beater = threading.Thread(target=_beat, daemon=True)
+    beater.start()
+    try:
+        payload = execute_queue_job(claimed)
+    except Exception:
+        stop.set()
+        beater.join()
+        queue.complete(claimed, None, worker_id, error=traceback.format_exc())
+        return False
+    stop.set()
+    beater.join()
+    if claimed.kind == "simulation":
+        ResultCache(queue.cache_dir).store(
+            claimed.fingerprint,
+            stats_from_dict(payload["stats"]),
+            benchmark=claimed.envelope.get("benchmark", ""),
+            technique=claimed.envelope.get("technique", ""),
+        )
+    queue.complete(claimed, payload, worker_id)
+    return True
+
+
+class QueueWorker:
+    """The claim/execute/complete loop one worker process runs."""
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        worker_id: Optional[str] = None,
+        poll_interval: float = 0.2,
+        max_jobs: Optional[int] = None,
+        drain: bool = False,
+        drain_grace: float = 1.0,
+    ):
+        self.queue = queue
+        self.worker_id = worker_id or _default_worker_id()
+        self.poll_interval = poll_interval
+        self.max_jobs = max_jobs
+        self.drain = drain
+        self.drain_grace = drain_grace
+        self.jobs_done = 0
+        self.jobs_failed = 0
+
+    def run(self) -> int:
+        """Serve the queue; returns the number of jobs executed."""
+        queue = self.queue
+        idle_since: Optional[float] = None
+        while True:
+            if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
+                break
+            queue.requeue_expired()
+            claimed = queue.claim(self.worker_id)
+            if claimed is None:
+                now = time.time()
+                if self.drain and queue.is_idle():
+                    if idle_since is None:
+                        idle_since = now
+                    elif now - idle_since >= self.drain_grace:
+                        break
+                else:
+                    idle_since = None
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = None
+            if process_claimed_job(queue, claimed, self.worker_id):
+                self.jobs_done += 1
+            else:
+                self.jobs_failed += 1
+        return self.jobs_done
+
+
+# ----------------------------------------------------------------------
+# Worker entry point: python -m repro.harness.queue
+# ----------------------------------------------------------------------
+def spawn_local_workers(
+    cache_dir: str | os.PathLike,
+    count: int,
+    ttl: float = 60.0,
+    poll_interval: float = 0.2,
+    drain: bool = False,
+):
+    """Start ``count`` worker subprocesses against ``cache_dir``.
+
+    Convenience for single-host scale-out and the in-tree smoke tests;
+    remote hosts just run the module entry point themselves.  The
+    workers inherit the environment plus a ``PYTHONPATH`` that resolves
+    this package, so they work from an uninstalled source tree.
+    """
+    import subprocess
+    import sys
+
+    import repro
+
+    src_root = str(Path(next(iter(repro.__path__))).parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    command = [
+        sys.executable,
+        "-m",
+        "repro.harness.queue",
+        str(cache_dir),
+        "--ttl",
+        str(ttl),
+        "--poll",
+        str(poll_interval),
+    ]
+    if drain:
+        command.append("--drain")
+    return [subprocess.Popen(command, env=env) for _ in range(count)]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Work-queue worker over a shared simulation cache directory"
+    )
+    parser.add_argument("cache_dir", help="shared cache directory (holds queue/)")
+    parser.add_argument("--worker-id", default=None, help="identity stamped on leases")
+    parser.add_argument(
+        "--ttl", type=float, default=60.0, help="heartbeat TTL before re-lease (s)"
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2, help="idle polling interval (s)"
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after N jobs (default: serve)"
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue stays empty for the grace period",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=1.0,
+        help="idle seconds before --drain exits",
+    )
+    parser.add_argument(
+        "--status", action="store_true", help="print queue status as JSON and exit"
+    )
+    args = parser.parse_args(argv)
+
+    queue = WorkQueue(args.cache_dir, ttl=args.ttl)
+    if args.status:
+        print(json.dumps(queue.status(), indent=2))
+        return 0
+    worker = QueueWorker(
+        queue,
+        worker_id=args.worker_id,
+        poll_interval=args.poll,
+        max_jobs=args.max_jobs,
+        drain=args.drain,
+        drain_grace=args.drain_grace,
+    )
+    done = worker.run()
+    print(f"worker {worker.worker_id}: {done} job(s) executed, {worker.jobs_failed} failed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,22 +69,24 @@ class AbellaPolicy(ResizingPolicy):
         self._limit = core.config.iq_entries
         self._apply(core)
         self._interval_start_cycle = core.cycle
-        self._interval_start_committed = core.stats.committed_instructions
+        self._interval_start_committed = core._committed_total
         self._best_interval_ipc = 0.0
 
     def on_measurement_start(self, core, cycle_shift: int) -> None:
         # Keep the interval phase across the boundary: the cycle anchor
-        # shifts with the clock, and the committed anchor restarts at zero
-        # exactly like the stats counter it snapshots (during warm-up that
-        # counter is gated at zero, so zero is the precise old value).
+        # shifts with the clock.  The committed anchor snapshots the
+        # core's *architectural* commit count, which never resets, so it
+        # needs no rebase — the hardware heuristic observes the machine,
+        # not the measurement infrastructure, and behaves identically
+        # wherever the warm-up boundary happens to fall (which is what
+        # makes window-sharded replay of this policy exact).
         self._interval_start_cycle -= cycle_shift
-        self._interval_start_committed = 0
 
     def on_cycle_end(self, core) -> None:
         elapsed = core.cycle - self._interval_start_cycle
         if elapsed < self.interval_cycles:
             return
-        committed = core.stats.committed_instructions - self._interval_start_committed
+        committed = core._committed_total - self._interval_start_committed
         interval_ipc = committed / max(1, elapsed)
 
         if self._best_interval_ipc > 0 and interval_ipc < self._best_interval_ipc * (
@@ -106,7 +108,7 @@ class AbellaPolicy(ResizingPolicy):
         self._apply(core)
         self.decisions.append((core.cycle, self._limit))
         self._interval_start_cycle = core.cycle
-        self._interval_start_committed = core.stats.committed_instructions
+        self._interval_start_committed = core._committed_total
 
     # ------------------------------------------------------------------
     def _apply(self, core) -> None:

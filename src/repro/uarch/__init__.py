@@ -56,16 +56,18 @@ Main entry points:
 
 from repro.uarch.config import DEFAULT_TRACE_WINDOW_ENTRIES, ProcessorConfig
 from repro.uarch.emulator import DynamicInstruction, EmulationLimitExceeded, FunctionalEmulator
-from repro.uarch.stats import SimulationStats
+from repro.uarch.stats import SimulationStats, merge_stats
 from repro.uarch.trace import (
     DecodedTrace,
     TraceCache,
     TraceWindowStream,
     get_decoded_trace,
+    get_trace_columns,
+    get_trace_span_stream,
     get_trace_stream,
     trace_events,
 )
-from repro.uarch.core import OutOfOrderCore, simulate
+from repro.uarch.core import OutOfOrderCore, simulate, simulate_span
 
 __all__ = [
     "DEFAULT_TRACE_WINDOW_ENTRIES",
@@ -74,12 +76,16 @@ __all__ = [
     "EmulationLimitExceeded",
     "FunctionalEmulator",
     "SimulationStats",
+    "merge_stats",
     "DecodedTrace",
     "TraceCache",
     "TraceWindowStream",
     "get_decoded_trace",
+    "get_trace_columns",
+    "get_trace_span_stream",
     "get_trace_stream",
     "trace_events",
     "OutOfOrderCore",
     "simulate",
+    "simulate_span",
 ]

@@ -78,6 +78,7 @@ from repro.uarch.trace import (
     F_STORE,
     TraceCache,
     TraceWindowStream,
+    get_trace_span_stream,
     get_trace_stream,
 )
 
@@ -94,6 +95,7 @@ class OutOfOrderCore:
         policy=None,
         warmup_instructions: int = 0,
         max_cycles: Optional[int] = None,
+        measure_instructions: Optional[int] = None,
     ):
         self.config = config or ProcessorConfig.hpca2005()
         self.config.validate()
@@ -104,6 +106,22 @@ class OutOfOrderCore:
         self.policy = policy
         self.warmup_instructions = warmup_instructions
         self.max_cycles = max_cycles
+        # Measure-span support (window sharding): with
+        # ``measure_instructions`` set, statistics freeze at the commit
+        # of the N-th *measured* instruction — the simulation stops at
+        # exactly the point where the next shard's measurement begins
+        # (its warm-up flip happens at the same commit, in the same
+        # stage order), so per-shard statistics partition a sequential
+        # run's without double counting.  None: run to the trace's end.
+        self.measure_instructions = measure_instructions
+        # A zero-length measure span contributes nothing: it freezes at
+        # the warm-up flip itself, before counting any commit or event
+        # (the flip-equivalent point where the next span starts counting).
+        self._measure_frozen = (
+            measure_instructions is not None
+            and measure_instructions <= 0
+            and warmup_instructions == 0
+        )
 
         if isinstance(trace, TraceWindowStream):
             stream = trace
@@ -188,6 +206,8 @@ class OutOfOrderCore:
         step = self.step
         while not self._finished():
             step()
+            if self._measure_frozen:
+                break
             if safety_limit is not None and self.cycle >= safety_limit:
                 break
         self._finalize_sample()
@@ -195,9 +215,19 @@ class OutOfOrderCore:
 
     def step(self) -> None:
         """Advance the machine by one cycle (back-to-front stage order)."""
+        if self._measure_frozen:
+            return
         fus = self.fus
         fus._used[:] = fus._zeros  # inlined FunctionalUnitPool.new_cycle
         self._commit()
+        if self._measure_frozen:
+            # The measure span ended at a commit earlier in this cycle.
+            # The remaining stages of the cycle belong to the *next*
+            # shard's measurement (its warm-up flips during commit too,
+            # so it counts this cycle's writeback/issue/dispatch/fetch
+            # events), and the cycle itself is likewise the next shard's:
+            # stop before the cycle counter advances.
+            return
         self._writeback()
         self._issue()
         self._dispatch()
@@ -242,6 +272,7 @@ class OutOfOrderCore:
         int_bank_counts = int_file.bank_counts
         committed = 0
         width = self.config.commit_width
+        measure_limit = self.measure_instructions
         while True:
             head = (head + 1) % capacity
             count -= 1
@@ -263,8 +294,22 @@ class OutOfOrderCore:
                 stats = self.stats
                 stats.committed_instructions += 1
                 stats.committed_micro_ops += 1
+                if (
+                    measure_limit is not None
+                    and stats.committed_instructions >= measure_limit
+                ):
+                    # Freeze mid-commit: later commits in this cycle (and
+                    # the rest of the cycle's stages) belong to the next
+                    # measure span, mirroring the warm-up flip exactly.
+                    self._measure_frozen = True
+                    break
             elif self._committed_total >= self.warmup_instructions:
                 self._end_warmup()
+                if measure_limit is not None and measure_limit <= 0:
+                    # Zero-length span: freeze at the flip, measuring
+                    # nothing — the next span counts from this very point.
+                    self._measure_frozen = True
+                    break
             if committed >= width or count == 0:
                 break
             entry = entries[head]
@@ -961,5 +1006,60 @@ def simulate(
         policy=policy,
         warmup_instructions=warmup_instructions,
         max_cycles=max_cycles,
+    )
+    return core.run()
+
+
+def simulate_span(
+    program,
+    policy=None,
+    config: Optional[ProcessorConfig] = None,
+    *,
+    max_instructions: int,
+    first_entry: int = 0,
+    last_entry: Optional[int] = None,
+    warmup_commits: int = 0,
+    measure_commits: Optional[int] = None,
+    trace_cache=None,
+    trace_window: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    live_emulation: Optional[bool] = None,
+) -> SimulationStats:
+    """Replay one entry span of a trace, measuring part of it.
+
+    The measure-span entry point behind window sharding
+    (:mod:`repro.harness.shard`).  The core replays the dynamic trace
+    entries ``[first_entry, last_entry)`` of the (program,
+    ``max_instructions``) trace; the first ``warmup_commits`` committed
+    instructions are warm-up (statistics reset when they retire, exactly
+    like ``simulate``'s ``warmup_instructions``), and with
+    ``measure_commits`` set, statistics freeze at the commit of the
+    N-th measured instruction while younger entries of the span — the
+    shard's *slack* — are still in flight keeping the pipeline fed, so
+    the boundary cycle is timed exactly as in an unsharded run.
+
+    A sharded run stitches per-span statistics with
+    :func:`repro.uarch.stats.merge_stats`; when every shard warms up
+    over the full preceding trace, the stitched statistics are
+    bit-identical to one sequential replay.
+    """
+    if trace_cache is not None and not isinstance(trace_cache, TraceCache):
+        trace_cache = TraceCache(trace_cache)
+    stream = get_trace_span_stream(
+        program,
+        max_instructions,
+        first_entry,
+        last_entry,
+        window_size=trace_window,
+        cache=trace_cache,
+        live=live_emulation,
+    )
+    core = OutOfOrderCore(
+        stream,
+        config=config,
+        policy=policy,
+        warmup_instructions=warmup_commits,
+        max_cycles=max_cycles,
+        measure_instructions=measure_commits,
     )
     return core.run()

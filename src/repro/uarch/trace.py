@@ -63,11 +63,11 @@ import hashlib
 import json
 import os
 import sys
-import tempfile
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable, Optional
 
+from repro.atomicio import publish_atomically
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode, default_latency, fu_class
 from repro.uarch.config import DEFAULT_TRACE_WINDOW_ENTRIES
@@ -690,24 +690,16 @@ class TraceWindowWriter:
             "windows": self._counts,
             "offsets": offsets,
         }
-        cache.directory.mkdir(parents=True, exist_ok=True)
-        path = cache.path_for(self._fingerprint)
-        fd, temp_path = tempfile.mkstemp(
-            dir=cache.directory, prefix=".tmp-", suffix=".bin"
+
+        def _write(handle) -> None:
+            handle.write(json.dumps(header, separators=(",", ":")).encode())
+            handle.write(b"\n")
+            for blob in self._blobs:
+                handle.write(blob)
+
+        path = publish_atomically(
+            cache.path_for(self._fingerprint), _write, binary=True
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(json.dumps(header, separators=(",", ":")).encode())
-                handle.write(b"\n")
-                for blob in self._blobs:
-                    handle.write(blob)
-            os.replace(temp_path, path)
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except FileNotFoundError:
-                pass
-            raise
         cache.stores += 1
         trace_events["disk_stores"] += 1
         cache._prune(protect=path)
@@ -816,6 +808,133 @@ def get_decoded_trace(
     while len(_trace_memo) > _MEMO_CAPACITY:
         _trace_memo.popitem(last=False)
     return trace
+
+
+# ----------------------------------------------------------------------
+# Column access and entry spans (window sharding)
+# ----------------------------------------------------------------------
+def _columns_from_trace(trace: DecodedTrace) -> tuple:
+    """Re-encode a decoded trace into compact emulation columns."""
+    return (
+        array.array("q", trace.pc),
+        array.array("q", trace.next_pc),
+        array.array("q", trace.mem_addr),
+        bytearray(trace.taken),
+    )
+
+
+def get_trace_columns(
+    program,
+    max_instructions: int,
+    cache: Optional[TraceCache] = None,
+    live: Optional[bool] = None,
+) -> tuple:
+    """The compact ``(pcs, next_pcs, mems, taken)`` columns for a trace.
+
+    Reuses the same tiers as :func:`get_trace_stream` — the in-process
+    column/decoded memos, then the disk cache, then one fresh emulation
+    that populates both — but returns the raw 25-byte-per-instruction
+    columns instead of decoded windows.  This is the substrate of window
+    sharding (:mod:`repro.harness.shard`): a shard slices an arbitrary
+    entry span out of the columns and decodes only that span.
+    """
+    if live is None:
+        live = bool(os.environ.get("REPRO_LIVE_EMULATION"))
+    digest = program_digest(program)
+    key = (digest, max_instructions)
+    fingerprint: Optional[str] = None
+    if not live:
+        columns = _column_memo.get(key)
+        if columns is not None:
+            trace_events["memo_hits"] += 1
+            _column_memo.move_to_end(key)
+            return columns
+        hit = _trace_memo.get(key)
+        if hit is not None:
+            trace_events["memo_hits"] += 1
+            _trace_memo.move_to_end(key)
+            columns = _columns_from_trace(hit)
+            _memoise_columns(key, columns)
+            return columns
+        if cache is not None:
+            fingerprint = _fingerprint_from_digest(digest, max_instructions)
+            opened = cache._open_validated(fingerprint, program)
+            if opened is not None:
+                columns, _ = opened
+                _memoise_columns(key, columns)
+                return columns
+    trace_events["emulations"] += 1
+    window_size = resolve_trace_window(None)
+    writer = None
+    if cache is not None and not live:
+        writer = cache.open_store(fingerprint, window_size or None)
+    pcs_acc = array.array("q")
+    next_acc = array.array("q")
+    mems_acc = array.array("q")
+    taken_acc = bytearray()
+    emulator = FunctionalEmulator(program)
+    for _, pcs, next_pcs, takens, mems in emulator.run_collect_windows(
+        max_instructions, window_size or None
+    ):
+        mems = [mem if mem is not None else 0 for mem in mems]
+        takens = bytearray(1 if t else 0 for t in takens)
+        if writer is not None:
+            writer.add(pcs, next_pcs, takens, mems)
+        pcs_acc.extend(pcs)
+        next_acc.extend(next_pcs)
+        mems_acc.extend(mems)
+        taken_acc.extend(takens)
+    if writer is not None:
+        writer.commit()
+    columns = (pcs_acc, next_acc, mems_acc, taken_acc)
+    if not live:
+        _memoise_columns(key, columns)
+    return columns
+
+
+def commit_mask(program, columns: tuple) -> bytearray:
+    """One byte per trace entry: 1 when the entry allocates a ROB slot.
+
+    Hint NOOPs and plain NOPs are stripped in the core's last decode
+    stage and never commit, so the committed-instruction count over an
+    entry span is the sum of this mask over the span.  Window sharding
+    uses it to translate span boundaries (entry indices) into the
+    warm-up and measure-span commit counts the replay core consumes.
+    """
+    instr_by_pc = _instructions_by_pc(program)
+    commits_by_pc = {
+        pc: 0 if (instr.is_hint or instr.opcode is Opcode.NOP) else 1
+        for pc, instr in instr_by_pc.items()
+    }
+    return bytearray(map(commits_by_pc.__getitem__, columns[0]))
+
+
+def get_trace_span_stream(
+    program,
+    max_instructions: int,
+    first_entry: int = 0,
+    last_entry: Optional[int] = None,
+    window_size: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+    live: Optional[bool] = None,
+) -> "TraceWindowStream":
+    """A replay-ready window stream over the entry span [first, last).
+
+    The full trace's columns come from :func:`get_trace_columns` (memo →
+    disk → one emulation); only the requested span is ever decoded, in
+    ``window_size``-sized windows, so a shard's decode memory is bounded
+    by the window regardless of where in the trace its span lies.
+    """
+    window_size = resolve_trace_window(window_size)
+    columns = get_trace_columns(program, max_instructions, cache=cache, live=live)
+    length = len(columns[0])
+    first = max(0, min(first_entry, length))
+    last = length if last_entry is None else max(first, min(last_entry, length))
+    sliced = tuple(column[first:last] for column in columns)
+    return TraceWindowStream(
+        _decode_column_windows(sliced, _instructions_by_pc(program), window_size or None),
+        window_size or None,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -63,13 +63,19 @@ _ALU_OPCODES = (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.AND, Opcode.OR)
 
 @dataclass
 class _BodyContext:
-    """Mutable state threaded through body generation for one kernel."""
+    """Mutable state threaded through body generation for one kernel.
+
+    ``pointer_chase`` is carried per kernel rather than read off the
+    traits so one program can mix chasing and non-chasing kernels (the
+    multi-phase ``phaseflip`` family builds both groups side by side).
+    """
 
     chains: list[Reg]
     pointer: Reg
     store_pointer: Reg
     stride: int
     predictable_branches: bool = True
+    pointer_chase: bool = False
 
 
 class SyntheticProgramGenerator:
@@ -91,17 +97,40 @@ class SyntheticProgramGenerator:
         library_names = [self._build_library(i) for i in range(traits.num_library_procs)]
 
         phase_names: list[str] = []
-        for index in range(traits.num_loop_kernels):
-            phase_names.append(self._build_loop_kernel(f"loop_kernel_{index}", leaf_names))
-        for index in range(traits.num_dag_kernels):
-            phase_names.append(self._build_dag_kernel(f"dag_kernel_{index}"))
-        for index in range(traits.num_switch_kernels):
-            phase_names.append(self._build_switch_kernel(f"switch_kernel_{index}"))
-        for index in range(traits.num_call_kernels):
-            phase_names.append(self._build_call_kernel(f"call_kernel_{index}", leaf_names))
+        chase_names: list[str] = []
+        if traits.phase_flip:
+            # Two contrasting kernel groups from one trait set: the loop
+            # and DAG kernels without pointer chasing (ILP-rich phase A)
+            # and a matching set of chasing loop kernels (serial,
+            # memory-bound phase B).  main alternates between them.
+            for index in range(traits.num_loop_kernels):
+                phase_names.append(
+                    self._build_loop_kernel(
+                        f"loop_kernel_{index}", leaf_names, chase=False
+                    )
+                )
+            for index in range(traits.num_dag_kernels):
+                phase_names.append(
+                    self._build_dag_kernel(f"dag_kernel_{index}", chase=False)
+                )
+            for index in range(traits.num_loop_kernels):
+                chase_names.append(
+                    self._build_loop_kernel(
+                        f"chase_kernel_{index}", leaf_names, chase=True
+                    )
+                )
+        else:
+            for index in range(traits.num_loop_kernels):
+                phase_names.append(self._build_loop_kernel(f"loop_kernel_{index}", leaf_names))
+            for index in range(traits.num_dag_kernels):
+                phase_names.append(self._build_dag_kernel(f"dag_kernel_{index}"))
+            for index in range(traits.num_switch_kernels):
+                phase_names.append(self._build_switch_kernel(f"switch_kernel_{index}"))
+            for index in range(traits.num_call_kernels):
+                phase_names.append(self._build_call_kernel(f"call_kernel_{index}", leaf_names))
 
         self.rng.shuffle(phase_names)
-        self._build_main(phase_names, library_names)
+        self._build_main(phase_names, library_names, chase_names or None)
         self.program.validate()
         return self.program
 
@@ -139,7 +168,7 @@ class SyntheticProgramGenerator:
         fp_threshold = traits.mem_fraction + traits.mul_fraction + traits.fp_fraction
         for _ in range(count):
             roll = rng.random()
-            if traits.pointer_chase and roll < traits.mem_fraction * 0.7:
+            if ctx.pointer_chase and roll < traits.mem_fraction * 0.7:
                 self._emit_pointer_chase_step(block, ctx)
             elif roll < traits.mem_fraction:
                 self._emit_memory_op(block, ctx)
@@ -218,7 +247,7 @@ class SyntheticProgramGenerator:
 
     def _emit_pointer_advance(self, block: BasicBlock, ctx: _BodyContext) -> None:
         """Strided pointer update executed once per loop iteration."""
-        if self.traits.pointer_chase:
+        if ctx.pointer_chase:
             return
         block.append(Instruction.alu(Opcode.ADD, ctx.pointer, [ctx.pointer], imm=ctx.stride))
         block.append(
@@ -247,8 +276,15 @@ class SyntheticProgramGenerator:
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
-    def _phase_prologue(self, proc: Procedure, trips: int) -> tuple[BasicBlock, _BodyContext]:
-        """Standard kernel entry block: counters, pointers, chain seeds."""
+    def _phase_prologue(
+        self, proc: Procedure, trips: int, chase: bool | None = None
+    ) -> tuple[BasicBlock, _BodyContext]:
+        """Standard kernel entry block: counters, pointers, chain seeds.
+
+        ``chase`` overrides the traits' pointer-chase flag for this one
+        kernel (None: follow the traits) — the phase-flip families build
+        chasing and non-chasing kernels from the same traits.
+        """
         entry = proc.add_block(self._label(f"{proc.name}_entry"))
         traits = self.traits
         entry.append(Instruction.load_imm(LOOP_COUNTER, trips))
@@ -265,6 +301,7 @@ class SyntheticProgramGenerator:
             pointer=POINTER_A,
             store_pointer=POINTER_B,
             stride=self._stride_for_working_set(),
+            pointer_chase=traits.pointer_chase if chase is None else chase,
         )
         return entry, ctx
 
@@ -274,13 +311,15 @@ class SyntheticProgramGenerator:
             for index, chain in enumerate(FP_CHAIN_REGS):
                 entry.append(Instruction.load_imm(chain, index + 2))
 
-    def _build_loop_kernel(self, name: str, leaf_names: list[str]) -> str:
+    def _build_loop_kernel(
+        self, name: str, leaf_names: list[str], chase: bool | None = None
+    ) -> str:
         """A counted loop whose body mixes ALU, memory and (maybe) calls."""
         traits = self.traits
         rng = self.rng
         proc = self.program.new_procedure(name)
         trips = self._randint(traits.loop_trip_count)
-        _, ctx = self._phase_prologue(proc, trips)
+        _, ctx = self._phase_prologue(proc, trips, chase)
 
         head_label = self._label(f"{name}_loop")
         head = proc.add_block(head_label)
@@ -338,7 +377,7 @@ class SyntheticProgramGenerator:
         join_block = proc.add_block(join_label)
         return join_block
 
-    def _build_dag_kernel(self, name: str) -> str:
+    def _build_dag_kernel(self, name: str, chase: bool | None = None) -> str:
         """Straight-line code with a run of if/else diamonds, no loops."""
         traits = self.traits
         proc = self.program.new_procedure(name)
@@ -354,6 +393,7 @@ class SyntheticProgramGenerator:
             pointer=POINTER_A,
             store_pointer=POINTER_B,
             stride=self._stride_for_working_set(),
+            pointer_chase=traits.pointer_chase if chase is None else chase,
         )
         self._emit_body(entry, self._randint(traits.dag_block_size), ctx)
 
@@ -386,6 +426,7 @@ class SyntheticProgramGenerator:
             pointer=POINTER_A,
             store_pointer=POINTER_B,
             stride=64,
+            pointer_chase=traits.pointer_chase,
         )
 
         join_label = self._label(f"{name}_join")
@@ -484,10 +525,40 @@ class SyntheticProgramGenerator:
     # ------------------------------------------------------------------
     # main
     # ------------------------------------------------------------------
-    def _build_main(self, phase_names: list[str], library_names: list[str]) -> None:
-        """The driver: initialise globals, then loop over the phase procedures."""
+    def _emit_phase_calls(
+        self,
+        proc: Procedure,
+        current: BasicBlock,
+        phase_names: list[str],
+        library_names: list[str],
+        tag: str = "",
+    ) -> BasicBlock:
+        """Emit one call per phase (plus occasional library calls)."""
         traits = self.traits
         rng = self.rng
+        for phase_index, phase in enumerate(phase_names):
+            current.append(Instruction.call(phase))
+            current = proc.add_block(f"main_after_phase_{tag}{phase_index}")
+            if library_names and rng.random() < traits.library_call_prob:
+                current.append(Instruction.call(rng.choice(library_names)))
+                current = proc.add_block(f"main_after_lib_{tag}{phase_index}")
+        return current
+
+    def _build_main(
+        self,
+        phase_names: list[str],
+        library_names: list[str],
+        chase_names: list[str] | None = None,
+    ) -> None:
+        """The driver: initialise globals, then loop over the phase procedures.
+
+        With ``chase_names`` (the phase-flip families), each driver
+        iteration selects a kernel group by a bit of the down-counting
+        loop counter — ``(counter >> phase_period_shift) & 1`` — so the
+        program alternates between the groups every
+        ``2**phase_period_shift`` iterations, at any instruction budget.
+        """
+        traits = self.traits
         proc = self.program.new_procedure("main")
 
         init = proc.add_block("main_init")
@@ -497,12 +568,30 @@ class SyntheticProgramGenerator:
 
         head_label = "main_driver"
         current = proc.add_block(head_label)
-        for phase_index, phase in enumerate(phase_names):
-            current.append(Instruction.call(phase))
-            current = proc.add_block(f"main_after_phase_{phase_index}")
-            if library_names and rng.random() < traits.library_call_prob:
-                current.append(Instruction.call(rng.choice(library_names)))
-                current = proc.add_block(f"main_after_lib_{phase_index}")
+        if chase_names:
+            selector = Reg(30)  # spare global; phases only touch r1-r27
+            current.append(
+                Instruction.alu(
+                    Opcode.SHR, selector, [DRIVER_COUNTER], imm=traits.phase_period_shift
+                )
+            )
+            current.append(Instruction.alu(Opcode.AND, selector, [selector], imm=1))
+            # The selector branch terminates its block (the IR's
+            # single-terminator invariant — the CFG derives edges from
+            # last instructions only); group A starts in the fall-through.
+            current.append(Instruction.branch_nez(selector, "main_chase_group"))
+            current = proc.add_block("main_loop_group")
+            current = self._emit_phase_calls(
+                proc, current, phase_names, library_names, tag="a"
+            )
+            current.append(Instruction.jump("main_latch"))
+            chase_entry = proc.add_block("main_chase_group")
+            current = self._emit_phase_calls(
+                proc, chase_entry, chase_names, library_names, tag="b"
+            )
+            current = proc.add_block("main_latch")  # group B falls through
+        else:
+            current = self._emit_phase_calls(proc, current, phase_names, library_names)
 
         current.append(Instruction.alu(Opcode.SUB, DRIVER_COUNTER, [DRIVER_COUNTER], imm=1))
         current.append(Instruction.branch_nez(DRIVER_COUNTER, head_label))

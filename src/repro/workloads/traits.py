@@ -76,6 +76,15 @@ class BenchmarkTraits:
         num_library_procs: number of library procedures generated.
         library_call_prob: probability the driver loop calls a library
             routine each iteration.
+        phase_flip: True for a multi-phase program whose driver loop
+            alternates between two kernel groups — the loop kernels
+            built *without* pointer chasing, and a matching set of
+            pointer-chasing kernels — flipping every
+            ``2**phase_period_shift`` driver iterations.  The abrupt
+            ILP/memory-behaviour change mid-run is exactly the phase
+            boundary hardware-adaptive schemes chase with a delay.
+        phase_period_shift: log2 of the phase length in driver
+            iterations (only meaningful with ``phase_flip``).
     """
 
     name: str
@@ -108,6 +117,8 @@ class BenchmarkTraits:
     leaf_mul_heavy: bool = False
     num_library_procs: int = 1
     library_call_prob: float = 0.05
+    phase_flip: bool = False
+    phase_period_shift: int = 3
     extra: dict = field(default_factory=dict)
 
 
@@ -331,6 +342,13 @@ SPECINT_TRAITS: dict[str, BenchmarkTraits] = {
 #:   beyond L2 with dependent loads, serialising issue behind memory and
 #:   making the machine almost insensitive to queue size (an mcf taken to
 #:   the extreme).
+#: * ``phaseflip`` -- a multi-phase program: the driver loop alternates
+#:   between a loop-dominated, ILP-rich kernel group and a serial
+#:   pointer-chasing group every ``2**phase_period_shift`` iterations.
+#:   Each flip invalidates what the abella interval heuristic just
+#:   learned — the reaction-delay weakness of hardware-adaptive schemes
+#:   that the paper's compiler-directed approach sidesteps (section 1);
+#:   ``benchmarks/test_ablation_phase_change.py`` measures it.
 EXTENDED_TRAITS: dict[str, BenchmarkTraits] = {
     "fpstream": BenchmarkTraits(
         name="fpstream",
@@ -388,6 +406,31 @@ EXTENDED_TRAITS: dict[str, BenchmarkTraits] = {
         predictable_branch_fraction=0.65,
         branch_in_loop_prob=0.4,
         num_leaf_procs=1,
+    ),
+    "phaseflip": BenchmarkTraits(
+        name="phaseflip",
+        seed=0xF11F,
+        num_loop_kernels=2,
+        num_dag_kernels=1,
+        loop_body_size=(16, 30),
+        loop_trip_count=(24, 56),
+        ilp_width=3,
+        mem_fraction=0.32,
+        store_fraction=0.3,
+        mul_fraction=0.06,
+        pointer_chase=True,  # drives the chase-kernel group only
+        chase_shift=7,
+        chase_mix_counter=True,
+        working_set_bytes=2 * 1024 * 1024,
+        predictable_branch_fraction=0.75,
+        branch_in_loop_prob=0.45,
+        num_leaf_procs=2,
+        phase_flip=True,
+        # One group-A iteration runs ~3k dynamic instructions, so a
+        # 2-iteration phase (~5-6k instructions) gives the abella
+        # heuristic a handful of 768-cycle intervals to adapt before the
+        # behaviour flips again — several flips fit in a tier-1 budget.
+        phase_period_shift=1,
     ),
 }
 

@@ -211,3 +211,106 @@ class TestWorkerValidation:
         monkeypatch.setenv("REPRO_WORKERS", "3")
         runner = ParallelSuiteRunner(TINY_CONFIG)
         assert runner.workers == 3
+
+
+class TestCacheGC:
+    """Offline maintenance: python -m repro.harness.cache gc <dir>."""
+
+    def test_orphaned_tmp_files_are_swept_by_age(self, tmp_path):
+        import os
+        import time
+
+        from repro.harness.cache import collect_garbage
+
+        cache = ResultCache(tmp_path)
+        cache.store("a" * 64, SimulationStats(cycles=1))
+        fresh = tmp_path / ".tmp-fresh.json"
+        fresh.write_text("{}")
+        orphan = tmp_path / ".tmp-orphan.json"
+        orphan.write_text("{}")
+        stale = time.time() - 7200
+        os.utime(orphan, (stale, stale))
+
+        summary = collect_garbage(tmp_path, tmp_max_age_seconds=3600)
+        assert summary["tmp_removed"] == 1
+        assert not orphan.exists()
+        assert fresh.exists()  # a live writer may still own it
+        assert summary["entries_before"] == 1 and summary["entries_removed"] == 0
+        assert cache.load("a" * 64) is not None
+
+    def test_entry_and_byte_caps_evict_lru(self, tmp_path):
+        import os
+        import time
+
+        from repro.harness.cache import collect_garbage
+
+        cache = ResultCache(tmp_path)
+        now = time.time()
+        for index in range(5):
+            path = cache.store(str(index) * 64, SimulationStats(cycles=index))
+            os.utime(path, (now - 100 + index, now - 100 + index))
+
+        summary = collect_garbage(tmp_path, max_entries=3)
+        assert summary["entries_removed"] == 2
+        assert cache.load("0" * 64) is None  # oldest went first
+        assert cache.load("4" * 64) is not None
+
+        entry_bytes = cache.path_for("4" * 64).stat().st_size
+        summary = collect_garbage(tmp_path, max_bytes=entry_bytes)
+        assert summary["entries_removed"] == 2
+        assert len(cache) == 1
+
+    def test_gc_tree_covers_traces_and_queue(self, tmp_path):
+        import os
+        import time
+
+        from repro.harness.cache import gc_cache_tree
+
+        ResultCache(tmp_path).store("a" * 64, SimulationStats(cycles=1))
+        traces = tmp_path / "traces"
+        traces.mkdir()
+        (traces / "t.trace.bin").write_bytes(b"x" * 100)
+        (traces / "u.trace.bin").write_bytes(b"y" * 100)
+        queue_pending = tmp_path / "queue" / "pending"
+        queue_pending.mkdir(parents=True)
+        job_file = queue_pending / ("b" * 64 + ".json")
+        job_file.write_text("{}")
+        orphan = queue_pending / ".tmp-dead.json"
+        orphan.write_text("{}")
+        stale = time.time() - 7200
+        os.utime(orphan, (stale, stale))
+
+        queue_done = tmp_path / "queue" / "done"
+        queue_done.mkdir(parents=True)
+        fresh_marker = queue_done / ("c" * 64 + ".json")
+        fresh_marker.write_text("{}")
+        old_marker = queue_done / ("d" * 64 + ".json")
+        old_marker.write_text("{}")
+        ancient = time.time() - 8 * 24 * 3600
+        os.utime(old_marker, (ancient, ancient))
+
+        summaries = gc_cache_tree(tmp_path, max_trace_bytes=100)
+        by_dir = {s["directory"]: s for s in summaries}
+        assert by_dir[str(traces)]["entries_removed"] == 1
+        assert by_dir[str(queue_pending)]["tmp_removed"] == 1
+        # Live queue protocol files are never gc victims...
+        assert job_file.exists()
+        # ...but consumed completion markers expire by age.
+        assert by_dir[str(queue_done)]["entries_removed"] == 1
+        assert not old_marker.exists()
+        assert fresh_marker.exists()
+
+    def test_gc_cli_prints_a_summary(self, tmp_path, capsys):
+        from repro.harness.cache import main
+
+        ResultCache(tmp_path).store("a" * 64, SimulationStats(cycles=1))
+        assert main(["gc", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1 entries" in out
+
+    def test_empty_directory_is_a_clean_noop(self, tmp_path):
+        from repro.harness.cache import collect_garbage
+
+        summary = collect_garbage(tmp_path / "missing")
+        assert summary["entries_before"] == 0
+        assert summary["tmp_removed"] == 0

@@ -1,0 +1,332 @@
+"""Work-queue protocol, crash recovery and backend-equivalence tests.
+
+The contract (see :mod:`repro.harness.queue`): jobs are leased at most
+once at a time via atomic renames, a lease whose heartbeat lapses is
+re-leased exactly once, duplicate completions are idempotent
+(last-writer-wins on identical payloads), and a grid run through
+``backend="queue"`` with real worker subprocesses over a shared cache
+directory is bit-identical to the local backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.harness import ParallelSuiteRunner, RunConfig, SimulationJob
+from repro.harness.queue import (
+    QueueWorker,
+    WorkQueue,
+    process_claimed_job,
+    spawn_local_workers,
+)
+
+TINY_CONFIG = RunConfig(
+    benchmarks=("gzip", "mcf"),
+    max_instructions=2_500,
+    warmup_instructions=500,
+)
+TINY_TECHNIQUES = ("baseline", "noop")
+
+
+def _job(benchmark="gzip", technique="baseline", config=TINY_CONFIG, **kwargs):
+    return SimulationJob(benchmark, technique, config, **kwargs)
+
+
+class TestProtocol:
+    def test_enqueue_claim_complete_roundtrip(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        job = _job()
+        fingerprint = queue.enqueue(job)
+        assert queue.pending_path(fingerprint).exists()
+        assert queue.status()["pending"] == 1
+
+        claimed = queue.claim("w1")
+        assert claimed is not None and claimed.fingerprint == fingerprint
+        assert not queue.pending_path(fingerprint).exists()
+        lease = json.loads(queue.lease_path(fingerprint).read_text())
+        assert lease["worker"] == "w1"
+        assert claimed.job.benchmark == job.benchmark
+
+        queue.complete(claimed, {"stats": {"cycles": 1}}, "w1")
+        assert not queue.lease_path(fingerprint).exists()
+        marker = queue.done_marker(fingerprint)
+        assert marker["payload"] == {"stats": {"cycles": 1}}
+        assert queue.is_idle()
+
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        queue.enqueue(_job())
+        assert queue.status()["pending"] == 1
+        claimed = queue.claim("w1")
+        queue.enqueue(_job())  # leased: still not duplicated
+        assert queue.status()["pending"] == 0
+        queue.complete(claimed, {"stats": {}}, "w1")
+        queue.enqueue(_job())  # done: not resurrected
+        assert queue.status()["pending"] == 0
+        assert queue.done_marker(fingerprint) is not None
+
+    def test_claim_from_empty_queue(self, tmp_path):
+        assert WorkQueue(tmp_path, ttl=30).claim("w1") is None
+
+    def test_malformed_envelope_is_poisoned(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        (queue.pending_dir / ("a" * 64 + ".json")).write_text("{not json")
+        assert queue.claim("w1") is None
+        assert queue.status()["poisoned"] == 1
+        assert queue.status()["pending"] == 0
+
+    def test_fresh_lease_is_not_requeued(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        queue.enqueue(_job())
+        queue.claim("w1")
+        assert queue.requeue_expired() == []
+
+    def test_claim_restarts_the_heartbeat_clock(self, tmp_path):
+        """A job that sat pending longer than the TTL must not be
+        sweepable the instant it is claimed: the winning rename would
+        otherwise inherit the stale enqueue-time mtime."""
+        queue = WorkQueue(tmp_path, ttl=5)
+        fingerprint = queue.enqueue(_job())
+        stale = time.time() - 60
+        os.utime(queue.pending_path(fingerprint), (stale, stale))
+        claimed = queue.claim("w1")
+        assert claimed is not None
+        assert time.time() - claimed.lease_path.stat().st_mtime < queue.ttl
+        assert queue.requeue_expired() == []
+
+    def test_error_marker_is_retryable_on_enqueue(self, tmp_path):
+        """One transient worker failure must not poison the fingerprint:
+        re-enqueueing consumes the error marker and queues the job."""
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        claimed = queue.claim("w1")
+        queue.complete(claimed, None, "w1", error="transient: disk full")
+        assert "error" in queue.done_marker(fingerprint)
+
+        assert queue.enqueue(_job()) == fingerprint
+        assert queue.pending_path(fingerprint).exists()
+        assert queue.done_marker(fingerprint) is None
+        # This time it succeeds; the success marker then blocks re-runs.
+        retry = queue.claim("w2")
+        queue.complete(retry, {"stats": {"cycles": 1}}, "w2")
+        queue.enqueue(_job())
+        assert queue.status()["pending"] == 0
+
+
+class TestCrashRecovery:
+    def test_expired_lease_is_requeued_and_completes(self, tmp_path):
+        """A lease whose heartbeat lapsed goes back to pending exactly
+        once, a second worker completes it, and a duplicate completion
+        from the presumed-dead first worker is a harmless overwrite."""
+        queue = WorkQueue(tmp_path, ttl=5)
+        fingerprint = queue.enqueue(_job())
+        first = queue.claim("crashy")
+        assert first is not None
+
+        # The worker dies: no more heartbeats.  Backdate the lease past
+        # the TTL instead of sleeping through it.
+        stale = time.time() - 60
+        os.utime(first.lease_path, (stale, stale))
+        assert queue.requeue_expired() == [fingerprint]
+        assert queue.pending_path(fingerprint).exists()
+        # Exactly once: a second sweep finds nothing.
+        assert queue.requeue_expired() == []
+
+        second = queue.claim("healthy")
+        assert second is not None and second.fingerprint == fingerprint
+        payload = {"stats": {"cycles": 42}}
+        queue.complete(second, payload, "healthy")
+        # The slow-not-dead first worker finishes too: identical
+        # fingerprint, identical payload, last writer wins cleanly.
+        queue.complete(first, payload, "crashy")
+        marker = queue.done_marker(fingerprint)
+        assert marker["payload"] == payload
+        assert marker["worker"] == "crashy"
+        assert not queue.lease_path(fingerprint).exists()
+
+    def test_expired_lease_with_marker_is_dropped(self, tmp_path):
+        """A dead lease whose job already completed must not re-run."""
+        queue = WorkQueue(tmp_path, ttl=5)
+        fingerprint = queue.enqueue(_job())
+        claimed = queue.claim("w1")
+        queue.complete(claimed, {"stats": {}}, "w1")
+        # Simulate the lease lingering (e.g. the unlink lost a race).
+        queue.leases_dir.mkdir(parents=True, exist_ok=True)
+        lease = queue.lease_path(fingerprint)
+        lease.write_text(json.dumps(claimed.envelope))
+        stale = time.time() - 60
+        os.utime(lease, (stale, stale))
+        assert queue.requeue_expired() == []
+        assert not lease.exists()
+        assert not queue.pending_path(fingerprint).exists()
+
+    def test_killed_worker_subprocess_is_recovered(self, tmp_path):
+        """Kill a real worker mid-lease; the job is re-leased after the
+        heartbeat TTL and completes elsewhere."""
+        queue = WorkQueue(tmp_path, ttl=2)
+        # A budget big enough that the worker is still simulating when
+        # the signal lands (claiming happens within the first second).
+        slow = RunConfig(
+            benchmarks=("gzip",),
+            max_instructions=250_000,
+            warmup_instructions=1_000,
+        )
+        fingerprint = queue.enqueue(_job(config=slow))
+        [proc] = spawn_local_workers(tmp_path, 1, ttl=2, poll_interval=0.05)
+        try:
+            deadline = time.time() + 60
+            while not queue.lease_path(fingerprint).exists():
+                assert time.time() < deadline, "worker never claimed the job"
+                assert proc.poll() is None, "worker exited prematurely"
+                time.sleep(0.05)
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+        assert not queue.done_path(fingerprint).exists()
+
+        # Heartbeats stopped with the worker; expire and sweep.
+        stale = time.time() - 60
+        os.utime(queue.lease_path(fingerprint), (stale, stale))
+        assert queue.requeue_expired() == [fingerprint]
+        assert queue.pending_path(fingerprint).exists()
+
+        # Protocol-level completion (running the 250k-instruction job
+        # in-process would dominate the suite's runtime; worker-executed
+        # completions are covered by the backend smoke test below).
+        rescued = queue.claim("rescuer")
+        assert rescued is not None
+        queue.complete(rescued, {"stats": {"cycles": 7}}, "rescuer")
+        assert queue.done_marker(fingerprint)["payload"] == {"stats": {"cycles": 7}}
+
+    def test_failing_job_publishes_an_error_marker(self, tmp_path):
+        """A job that *raises* (vs. a worker that dies) must not wedge
+        the queue: an error marker is published for the driver to raise."""
+        queue = WorkQueue(tmp_path, ttl=5)
+        bad_fp = queue.enqueue(_job(technique="no-such-technique"))
+        claimed = queue.claim("w1")
+        assert process_claimed_job(queue, claimed, "w1") is False
+        marker = queue.done_marker(bad_fp)
+        assert "error" in marker and "no-such-technique" in marker["error"]
+        assert queue.is_idle()
+
+
+class TestQueueBackendSmoke:
+    """Tier-1 smoke: a tiny grid through ``backend="queue"`` with two
+    in-tree worker subprocesses is bit-identical to ``backend="local"``,
+    with exact folded trace-cache counters."""
+
+    def test_two_worker_grid_matches_local_backend(self, tmp_path):
+        local = ParallelSuiteRunner(TINY_CONFIG, workers=1)
+        local.run_suite(techniques=TINY_TECHNIQUES)
+
+        queue_runner = ParallelSuiteRunner(
+            TINY_CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            backend="queue",
+            queue_workers=2,
+            queue_assist=False,  # the workers must do all the work
+            queue_poll=0.1,
+            queue_ttl=30,
+            queue_timeout=300,
+        )
+        queue_runner.run_suite(techniques=TINY_TECHNIQUES)
+        assert queue_runner.simulations_run == len(TINY_CONFIG.benchmarks) * len(
+            TINY_TECHNIQUES
+        )
+        for benchmark in TINY_CONFIG.benchmarks:
+            for technique in TINY_TECHNIQUES:
+                assert dataclasses.asdict(
+                    queue_runner.result(benchmark, technique).stats
+                ) == dataclasses.asdict(local.result(benchmark, technique).stats), (
+                    benchmark,
+                    technique,
+                )
+        # Worker trace-cache traffic was folded back through the
+        # completion markers: each worker process missed and stored each
+        # benchmark it met first, none of which happened in this process.
+        cache = queue_runner.trace_cache
+        assert cache.misses >= len(TINY_CONFIG.benchmarks)
+        assert cache.stores >= len(TINY_CONFIG.benchmarks)
+        # The queue drained completely.
+        queue = WorkQueue(tmp_path, ttl=30)
+        assert queue.is_idle()
+
+    def test_warm_cache_skips_the_queue_entirely(self, tmp_path):
+        runner = ParallelSuiteRunner(
+            TINY_CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            backend="queue",
+            queue_ttl=30,
+        )
+        runner.run_suite(techniques=TINY_TECHNIQUES)
+        warm = ParallelSuiteRunner(
+            TINY_CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            backend="queue",
+            queue_ttl=30,
+        )
+        warm.run_suite(techniques=TINY_TECHNIQUES)
+        assert warm.simulations_run == 0
+        assert warm.cache.hits == len(TINY_CONFIG.benchmarks) * len(TINY_TECHNIQUES)
+
+    def test_stalled_queue_times_out(self, tmp_path):
+        """No workers, no assist, nothing heartbeating: the driver's
+        inactivity timeout must fire instead of waiting forever."""
+        runner = ParallelSuiteRunner(
+            TINY_CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            backend="queue",
+            queue_assist=False,
+            queue_poll=0.05,
+            queue_timeout=0.5,
+        )
+        with pytest.raises(TimeoutError):
+            runner.run_suite(techniques=("baseline",), benchmarks=("gzip",))
+
+    def test_queue_backend_requires_cache_dir(self):
+        with pytest.raises(ValueError):
+            ParallelSuiteRunner(TINY_CONFIG, backend="queue")
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSuiteRunner(TINY_CONFIG, backend="carrier-pigeon")
+
+
+class TestWorkerLoop:
+    def test_drain_worker_serves_and_exits(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        for technique in TINY_TECHNIQUES:
+            queue.enqueue(_job(technique=technique))
+        worker = QueueWorker(
+            queue, worker_id="w1", poll_interval=0.05, drain=True, drain_grace=0.1
+        )
+        executed = worker.run()
+        assert executed == len(TINY_TECHNIQUES)
+        assert queue.is_idle()
+        for technique in TINY_TECHNIQUES:
+            marker = queue.done_marker(_job(technique=technique).fingerprint())
+            assert marker is not None and marker["payload"]["stats"]["cycles"] > 0
+        # Results were published through the shared ResultCache too.
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        for technique in TINY_TECHNIQUES:
+            assert cache.load(_job(technique=technique).fingerprint()) is not None
+
+    def test_max_jobs_bounds_the_loop(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        for technique in TINY_TECHNIQUES:
+            queue.enqueue(_job(technique=technique))
+        worker = QueueWorker(queue, poll_interval=0.05, max_jobs=1)
+        assert worker.run() == 1
+        assert queue.status()["pending"] == 1

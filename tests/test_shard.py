@@ -1,0 +1,258 @@
+"""Window-sharding equivalence, planning and stitching tests.
+
+The contract (see :mod:`repro.harness.shard`): with ``overlap="full"``
+the stitched statistics of a sharded run are **bit-identical** to one
+sequential replay for every technique, a finite overlap stays within the
+documented tolerance, and the sharded ``ParallelSuiteRunner`` produces
+the same metrics as the plain one while caching under a distinct key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness import ParallelSuiteRunner, RunConfig
+from repro.harness.shard import (
+    ShardJob,
+    compare_sharded_to_sequential,
+    plan_shards,
+    run_sharded,
+    shard_span_entries,
+)
+from repro.uarch import SimulationStats, merge_stats
+from repro.uarch.trace import commit_mask, get_trace_columns
+from repro.workloads import build_benchmark
+
+CONFIG = RunConfig(
+    benchmarks=("gzip",), max_instructions=6_000, warmup_instructions=1_500
+)
+SPAN = 2_048
+WINDOW = 1_024
+
+#: Documented stitching tolerance for finite overlaps at tier-1 budgets:
+#: stitched IPC within 5% of sequential (a 2k-entry overlap measures
+#: ~0.3% on gzip; the bound leaves headroom for other workloads).
+FINITE_OVERLAP_IPC_TOLERANCE = 0.05
+
+
+class TestExactStitching:
+    @pytest.mark.parametrize(
+        "technique", ["baseline", "nonempty", "abella", "noop", "extension", "improved"]
+    )
+    def test_full_overlap_is_bit_identical(self, technique):
+        result = compare_sharded_to_sequential(
+            "gzip",
+            technique,
+            CONFIG,
+            span_entries=SPAN,
+            overlap="full",
+            trace_window=WINDOW,
+        )
+        assert result["shards"] >= 3
+        assert dataclasses.asdict(result["stitched"]) == dataclasses.asdict(
+            result["sequential"]
+        )
+
+    def test_finite_overlap_within_tolerance(self):
+        result = compare_sharded_to_sequential(
+            "gzip",
+            "baseline",
+            CONFIG,
+            span_entries=SPAN,
+            overlap=2_048,
+            trace_window=WINDOW,
+        )
+        assert result["deltas"]["committed"] == 0.0  # spans partition exactly
+        assert result["deltas"]["ipc"] < FINITE_OVERLAP_IPC_TOLERANCE
+
+    def test_single_span_degenerates_to_sequential(self):
+        result = compare_sharded_to_sequential(
+            "gzip",
+            "baseline",
+            CONFIG,
+            span_entries=10_000,  # larger than the whole trace
+            overlap="full",
+            trace_window=WINDOW,
+        )
+        assert result["shards"] == 1
+        assert dataclasses.asdict(result["stitched"]) == dataclasses.asdict(
+            result["sequential"]
+        )
+
+
+class TestPlanning:
+    def test_spans_partition_the_trace(self):
+        program = build_benchmark("gzip")
+        spans = plan_shards(program, 6_000, 1_500, SPAN)
+        columns = get_trace_columns(program, 6_000)
+        length = len(columns[0])
+        assert spans[0].start == 0
+        assert spans[-1].stop == length
+        for left, right in zip(spans, spans[1:]):
+            assert left.stop == right.start
+        # Full overlap: every shard warms from the trace's beginning.
+        assert all(span.warm_start == 0 for span in spans)
+        # Interior shards feed slack past their span; the last runs out.
+        for span in spans[:-1]:
+            assert span.feed_stop > span.stop
+            assert span.measure_commits is not None and span.measure_commits > 0
+        assert spans[-1].feed_stop == length
+        assert spans[-1].measure_commits is None
+
+    def test_commit_counts_translate_entry_boundaries(self):
+        program = build_benchmark("gzip")
+        columns = get_trace_columns(program, 6_000)
+        mask = commit_mask(program, columns)
+        spans = plan_shards(program, 6_000, 1_500, SPAN)
+        for span in spans:
+            expected_warmup = sum(mask[span.warm_start : span.start])
+            if span.index == 0:
+                # Shard 0's warm-up is the run's own (commit-count) warm-up.
+                assert span.warmup_commits == 1_500
+            else:
+                assert span.warmup_commits == expected_warmup
+            if span.measure_commits is not None:
+                expected = sum(mask[span.start : span.stop])
+                if span.index == 0:
+                    expected -= 1_500
+                assert span.measure_commits == expected
+
+    def test_finite_overlap_clamps_at_trace_start(self):
+        program = build_benchmark("gzip")
+        spans = plan_shards(program, 6_000, 1_500, SPAN, overlap=100_000)
+        assert all(span.warm_start == 0 for span in spans)
+
+    def test_first_span_grows_past_the_warmup(self):
+        program = build_benchmark("gzip")
+        # Tiny spans: several whole spans fit inside the 1500-commit
+        # warm-up; the planner must merge them into shard 0.
+        spans = plan_shards(program, 6_000, 1_500, 512)
+        assert spans[0].measure_commits is None or spans[0].measure_commits > 0
+        columns = get_trace_columns(program, 6_000)
+        mask = commit_mask(program, columns)
+        assert sum(mask[: spans[0].stop]) > 1_500
+
+    def test_bad_arguments_are_rejected(self):
+        program = build_benchmark("gzip")
+        with pytest.raises(ValueError):
+            plan_shards(program, 6_000, 1_500, 0)
+        with pytest.raises(ValueError):
+            plan_shards(program, 6_000, 1_500, SPAN, overlap="partial")
+        with pytest.raises(ValueError):
+            plan_shards(program, 6_000, 1_500, SPAN, overlap=-1)
+        with pytest.raises(ValueError):
+            shard_span_entries(0)
+
+    def test_shard_fingerprints_are_distinct(self):
+        program = build_benchmark("gzip")
+        spans = plan_shards(program, 6_000, 1_500, SPAN)
+        jobs = [
+            ShardJob("gzip", "baseline", CONFIG, span, cell_fingerprint="cell")
+            for span in spans
+        ]
+        fingerprints = {job.fingerprint() for job in jobs}
+        assert len(fingerprints) == len(jobs)
+
+
+class TestMergeStats:
+    def test_counters_add_and_derived_metrics_follow(self):
+        a = SimulationStats(
+            cycles=10, committed_instructions=20, iq_occupancy_sum=50,
+            sampled_cycles=10, iq_banks_total=8, rf_banks_total=8,
+        )
+        b = SimulationStats(
+            cycles=30, committed_instructions=30, iq_occupancy_sum=70,
+            sampled_cycles=30, iq_banks_total=8, rf_banks_total=8,
+        )
+        a.extra["note"] = 1.0
+        b.extra["note"] = 2.0
+        merged = merge_stats([a, b])
+        assert merged.cycles == 40
+        assert merged.committed_instructions == 50
+        assert merged.ipc == 50 / 40
+        assert merged.avg_iq_occupancy == 120 / 40
+        assert merged.iq_banks_total == 8
+        assert merged.extra == {"note": 3.0}
+
+    def test_mismatched_machines_are_rejected(self):
+        a = SimulationStats(iq_banks_total=8, rf_banks_total=8)
+        b = SimulationStats(iq_banks_total=4, rf_banks_total=8)
+        with pytest.raises(ValueError):
+            merge_stats([a, b])
+        with pytest.raises(ValueError):
+            merge_stats([])
+
+
+class TestShardedRunner:
+    def test_sharded_runner_matches_plain_runner(self, tmp_path):
+        plain = ParallelSuiteRunner(CONFIG, workers=1)
+        plain.run_suite(techniques=("baseline", "abella"))
+        sharded = ParallelSuiteRunner(
+            CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            trace_window=WINDOW,
+            shard_span_windows=2,  # 2 windows = the 2048-entry span
+            shard_overlap="full",
+        )
+        sharded.run_suite(techniques=("baseline", "abella"))
+        for technique in ("baseline", "abella"):
+            assert dataclasses.asdict(
+                sharded.result("gzip", technique).stats
+            ) == dataclasses.asdict(plain.result("gzip", technique).stats)
+
+    def test_sharded_cells_cache_under_their_own_key(self, tmp_path):
+        sharded = ParallelSuiteRunner(
+            CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            trace_window=WINDOW,
+            shard_span_windows=2,
+            shard_overlap=2_048,
+        )
+        job = sharded._job("gzip", "baseline")
+        assert sharded._fingerprint(job) != job.fingerprint()
+        sharded.run_suite(techniques=("baseline",))
+        # A warm re-run with the same plan hits the sharded key.
+        warm = ParallelSuiteRunner(
+            CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            trace_window=WINDOW,
+            shard_span_windows=2,
+            shard_overlap=2_048,
+        )
+        warm.run_suite(techniques=("baseline",))
+        assert warm.simulations_run == 0
+        # A plain runner must not see the sharded entry.
+        plain = ParallelSuiteRunner(CONFIG, workers=1, cache_dir=str(tmp_path))
+        assert plain._cached_stats(plain._job("gzip", "baseline")) is None
+
+    def test_sharded_queue_backend_matches_local(self, tmp_path):
+        """Sharding composes with the distributed queue: shard jobs ride
+        the same lease/complete protocol and stitch identically."""
+        local = run_sharded(
+            "gzip",
+            "baseline",
+            CONFIG,
+            span_entries=SPAN,
+            overlap="full",
+            trace_window=WINDOW,
+        )
+        runner = ParallelSuiteRunner(
+            CONFIG,
+            workers=1,
+            cache_dir=str(tmp_path),
+            trace_window=WINDOW,
+            backend="queue",
+            queue_ttl=30,
+            queue_timeout=300,
+            shard_span_windows=2,
+            shard_overlap="full",
+        )
+        runner.run_suite(techniques=("baseline",))
+        assert dataclasses.asdict(runner.result("gzip", "baseline").stats) == (
+            dataclasses.asdict(local)
+        )
