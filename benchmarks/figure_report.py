@@ -115,6 +115,18 @@ def main(argv: list[str] | None = None) -> None:
         "REPRO_TRACE_WINDOW or ~16k; 0 forces monolithic decode)",
     )
     parser.add_argument("--workers", type=int, default=None, help="pool size")
+    # Choices come from the engine registry so new kernels need no edit
+    # here (this import is cheap; the heavy harness imports stay lazy).
+    from repro.uarch.engine import available_engines
+
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="replay kernel for every simulation (default: the executing "
+        "host's REPRO_REPLAY_KERNEL, else scalar); statistics are "
+        "bit-identical between kernels, so cached results are shared",
+    )
     parser.add_argument(
         "--backend",
         choices=("local", "queue"),
@@ -201,6 +213,7 @@ def main(argv: list[str] | None = None) -> None:
         queue_ttl=args.queue_ttl,
         shard_span_windows=args.shard_windows,
         shard_overlap=args.shard_overlap,
+        engine=args.engine,
     )
     runner.run_suite()
     if runner.cache is not None:

@@ -3,7 +3,10 @@
 Records how many machine cycles the timing model simulates per wall-clock
 second on the gzip baseline run, so successive PRs have a performance
 trajectory for the per-cycle hot path (issue select, wakeup broadcast,
-dispatch, fetch).  Two rates are measured:
+dispatch, fetch).  Since PR 5 the trajectory is **per replay engine**
+(:mod:`repro.uarch.engine`): each kernel gets its own cold/warm entry in
+``BENCH_trace.json`` and its own floor.  Two rates are measured per
+engine:
 
 * **cold** — a fresh in-process trace memo and an empty on-disk trace
   cache, with the **windowed streaming path on** (the budget is split
@@ -24,11 +27,20 @@ Reference points on the development machine (1-core container):
 * PR 3 (windowed trace decode & streaming replay; the cold run streams
   the 12k budget through 4k-instruction windows): rates within noise of
   PR 2 — windowing bounds decode memory without giving back throughput.
+* PR 5 (replay-engine architecture): the scalar kernel is the extracted
+  PR 3 loop, rates unchanged; the new columnar (numpy structured-array)
+  kernel measures ~33k cycles/s cold / ~37k warm on this container
+  (exact values in the trajectory file's per-engine entries) — at
+  table-1 machine sizes (80-entry IQ, ≤8 wakeups/cycle) the per-cycle
+  fixed cost of the batched tag-vector pass outweighs what it saves
+  over the consumer-list scalar path, an honestly-recorded finding the
+  ROADMAP tracks for wider-machine configurations.
 
-The assertion below is a loose floor (about half the PR 2 cold rate,
-**kept at ≥29k cycles/s with the windowed path on**) so the bench fails
-only on a genuine hot-path regression, not on machine noise.  Each run
-also appends both rates to ``BENCH_trace.json`` next to this file,
+The assertions below are loose floors (about half the measured cold
+rate per kernel) so the bench fails only on a genuine hot-path
+regression, not on machine noise.  The scalar floor stays at the
+≥29k cycles/s the earlier PRs established.  Each run appends both
+rates for each engine to ``BENCH_trace.json`` next to this file,
 giving later PRs a machine-readable perf history.
 """
 
@@ -39,20 +51,30 @@ import json
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.techniques import BaselinePolicy
 from repro.uarch import simulate
+from repro.uarch.engine import numpy_available
 from repro.uarch.trace import clear_trace_memo
 from repro.workloads import build_benchmark
 
 MAX_INSTRUCTIONS = 12_000
 #: Cold runs stream through windows this size (3 windows for the 12k
-#: budget), so the floor below is enforced with windowed replay on.
+#: budget), so the floors below are enforced with windowed replay on.
 TRACE_WINDOW = 4_096
-#: ~50% of the cold rate measured for PR 2 (~58k cycles/s); comfortably
-#: above the PR 1 steady-state rate, so losing the replay speedup fails.
-MIN_CYCLES_PER_SECOND = 29_000.0
+#: Per-engine floors, ~50% of the cold rate measured on the 1-core dev
+#: container so only a genuine regression (not noise) trips them.  The
+#: scalar floor is the long-standing ≥29k (comfortably above the PR 1
+#: steady state, so losing the replay speedup still fails).
+MIN_CYCLES_PER_SECOND = {
+    "scalar": 29_000.0,
+    "columnar": 15_000.0,
+}
 #: PR 1 reference rate the ISSUE's 2x target is measured against.
 PR1_REFERENCE_CYCLES_PER_SECOND = 24_700.0
+
+ENGINES = ("scalar",) + (("columnar",) if numpy_available() else ())
 
 TRAJECTORY_FILE = Path(__file__).with_name("BENCH_trace.json")
 TRAJECTORY_LIMIT = 200
@@ -73,14 +95,18 @@ def _record_trajectory(entry: dict) -> None:
     )
 
 
-def _timed_simulate(**kwargs) -> tuple[int, float]:
+def _timed_simulate(engine: str, **kwargs) -> tuple[int, float]:
     program = build_benchmark("gzip")
     gc.collect()
     gc.disable()
     try:
         start = time.perf_counter()
         stats = simulate(
-            program, BaselinePolicy(), max_instructions=MAX_INSTRUCTIONS, **kwargs
+            program,
+            BaselinePolicy(),
+            max_instructions=MAX_INSTRUCTIONS,
+            engine=engine,
+            **kwargs,
         )
         elapsed = time.perf_counter() - start
     finally:
@@ -88,7 +114,8 @@ def _timed_simulate(**kwargs) -> tuple[int, float]:
     return stats.cycles, elapsed
 
 
-def test_simulator_cycle_throughput(benchmark, tmp_path):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_simulator_cycle_throughput(benchmark, tmp_path, engine):
     # Warm the generator and module state so the bench isolates the
     # emulate+decode+replay pipeline, and spin the CPU up to steady state
     # (the container throttles hard from idle).
@@ -99,6 +126,7 @@ def test_simulator_cycle_throughput(benchmark, tmp_path):
             BaselinePolicy(),
             max_instructions=MAX_INSTRUCTIONS,
             live_emulation=True,
+            engine=engine,
         )
 
     trace_dir = tmp_path / "trace-cache"
@@ -112,7 +140,7 @@ def test_simulator_cycle_throughput(benchmark, tmp_path):
         clear_trace_memo()
         round_dir = trace_dir / str(len(cold_rates))
         cycles, elapsed = _timed_simulate(
-            trace_cache=str(round_dir), trace_window=TRACE_WINDOW
+            engine, trace_cache=str(round_dir), trace_window=TRACE_WINDOW
         )
         cold_rates.append(cycles / elapsed)
         cycles_holder.append(cycles)
@@ -125,10 +153,11 @@ def test_simulator_cycle_throughput(benchmark, tmp_path):
     # Steady state: the decoded trace is memoised, only the core replays.
     warm_rates = []
     for _ in range(5):
-        warm_cycles, warm_elapsed = _timed_simulate()
+        warm_cycles, warm_elapsed = _timed_simulate(engine)
         warm_rates.append(warm_cycles / warm_elapsed)
     warm_rate = max(warm_rates)
 
+    benchmark.extra_info["engine"] = engine
     benchmark.extra_info["cycles_simulated"] = cycles
     benchmark.extra_info["cycles_per_second"] = round(cold_rate)
     benchmark.extra_info["cycles_per_second_warm"] = round(warm_rate)
@@ -138,6 +167,7 @@ def test_simulator_cycle_throughput(benchmark, tmp_path):
     _record_trajectory(
         {
             "timestamp": time.time(),
+            "engine": engine,
             "max_instructions": MAX_INSTRUCTIONS,
             "trace_window": TRACE_WINDOW,
             "cycles": cycles,
@@ -146,10 +176,11 @@ def test_simulator_cycle_throughput(benchmark, tmp_path):
         }
     )
     print(
-        f"\n  simulated {cycles} cycles at {cold_rate:,.0f}/s cold "
+        f"\n  [{engine}] simulated {cycles} cycles at {cold_rate:,.0f}/s cold "
         f"(trace cache+emulation) and {warm_rate:,.0f}/s warm (replay only); "
         f"{cold_rate / PR1_REFERENCE_CYCLES_PER_SECOND:.2f}x the PR 1 reference"
     )
+    floor = MIN_CYCLES_PER_SECOND[engine]
     assert cycles > 0
-    assert cold_rate > MIN_CYCLES_PER_SECOND
-    assert warm_rate > MIN_CYCLES_PER_SECOND
+    assert cold_rate > floor
+    assert warm_rate > floor

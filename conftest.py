@@ -6,6 +6,16 @@ variable, else 1) controlling how many processes
 figure benchmarks fan out over.  The default of 1 keeps tier-1 runs
 in-process and deterministic; CI or local reproduction runs can pass
 ``--workers N`` or export ``REPRO_WORKERS=N`` to exercise the pool.
+
+Adds the ``--engine`` option (default: the ``REPRO_REPLAY_KERNEL``
+environment variable, else the library's scalar default) selecting the
+replay kernel every simulation in the session runs under.  It is
+exported back into ``REPRO_REPLAY_KERNEL`` at configure time so the
+whole stack — direct ``simulate`` calls, suite runners, pool workers and
+queue worker subprocesses — inherits one kernel; replay statistics are
+bit-identical between kernels, so tier-1 results must not change with
+this option (that invariance is itself under test in
+``tests/test_engines.py``).
 """
 
 from __future__ import annotations
@@ -26,9 +36,45 @@ def pytest_addoption(parser) -> None:
         help="worker processes for parallel suite runners (env: REPRO_WORKERS; "
         "0/unset means 1 here)",
     )
+    # Choices come from the engine registry, not a hardcoded tuple, so a
+    # newly registered kernel is selectable here without edits.  Guarded:
+    # an import failure in an option hook would kill pytest before it can
+    # print a normal collection error (e.g. PYTHONPATH=src forgotten).
+    try:
+        from repro.uarch.engine import available_engines
+
+        engines = available_engines()
+    except ImportError:
+        engines = ("scalar", "columnar")
+
+    parser.addoption(
+        "--engine",
+        choices=engines,
+        default=None,
+        help="replay kernel for every simulation in the session "
+        "(env: REPRO_REPLAY_KERNEL; unset means the library default, "
+        "scalar); statistics are bit-identical between kernels",
+    )
+
+
+def pytest_configure(config) -> None:
+    engine = config.getoption("--engine")
+    if engine:
+        # Environment, not a fixture: the kernel must reach code that
+        # never sees pytest — library-default simulate() calls, process
+        # pools, and the queue worker subprocesses tests spawn.
+        os.environ["REPRO_REPLAY_KERNEL"] = engine
 
 
 @pytest.fixture(scope="session")
 def suite_workers(request) -> int:
     """Worker count for ParallelSuiteRunner-based tests and benchmarks."""
     return request.config.getoption("--workers")
+
+
+@pytest.fixture(scope="session")
+def replay_engine(request) -> str:
+    """The session's effective replay kernel name."""
+    from repro.uarch.engine import resolve_engine_name
+
+    return resolve_engine_name(request.config.getoption("--engine"))

@@ -1,9 +1,23 @@
 """Setup shim so editable installs work without the `wheel` package.
 
-The project metadata lives in pyproject.toml; this file only enables the
-legacy `pip install -e .` code path on environments whose setuptools cannot
-build PEP 660 editable wheels.
+This file enables the legacy `pip install -e .` code path on environments
+whose setuptools cannot build PEP 660 editable wheels, and declares the
+optional dependency of the columnar replay engine.
+
+numpy is deliberately an *extra*, not a hard requirement: the scalar
+engine (and therefore the whole tier-1 suite) runs on a bare Python
+toolchain, and hosts without numpy get a clear
+``ColumnarUnavailableError`` naming this extra only when the columnar
+kernel is actually selected (see ``repro.uarch.engine.columnar``) —
+never an ``ImportError`` at callsite depth.
 """
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # The columnar replay kernel (engine="columnar",
+        # REPRO_REPLAY_KERNEL=columnar) lowers trace windows into numpy
+        # structured arrays; everything else runs without it.
+        "columnar": ["numpy>=1.22"],
+    },
+)

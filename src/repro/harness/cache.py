@@ -442,17 +442,21 @@ def gc_cache_tree(
             now=now,
         ),
     ]
-    for sub in ("pending", "leases", "done", "poison"):
+    for sub in ("pending", "leases", "done", "poison", "workers"):
         queue_dir = cache_dir / "queue" / sub
         if queue_dir.is_dir():
             expire = (
-                done_marker_max_age_seconds if sub in ("done", "poison") else None
+                done_marker_max_age_seconds
+                if sub in ("done", "poison", "workers")
+                else None
             )
             summaries.append(
                 collect_garbage(
                     queue_dir,
                     # pending/leases: temp sweep only — live protocol
-                    # state.  done/poison: consumed markers expire by age.
+                    # state.  done/poison: consumed markers expire by
+                    # age; workers: per-worker stats files from hosts
+                    # that stopped publishing expire the same way.
                     pattern="*.json" if expire is not None else None,
                     entry_max_age_seconds=expire,
                     tmp_max_age_seconds=tmp_max_age_seconds,

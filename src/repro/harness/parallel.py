@@ -69,6 +69,15 @@ Semantics:
   default) pitches in on unclaimed jobs itself so a queue with no
   external workers still drains.  Results are bit-identical between
   backends for any worker count.
+* **Replay engines** — ``engine="scalar"|"columnar"`` selects the
+  replay kernel (:mod:`repro.uarch.engine`) every job runs under; None
+  (the default) lets each executing host resolve its own
+  ``REPRO_REPLAY_KERNEL``.  Statistics are bit-identical between
+  kernels, so the engine is transport like the worker count: it never
+  participates in cache fingerprints, results cached under one kernel
+  are hits under any other, and queue completion markers stay
+  idempotent even when a re-leased job reruns on a host with a
+  different kernel.
 * **Window sharding** — ``shard_span_windows=N`` splits every cell's
   budget into measure spans of N trace windows
   (:mod:`repro.harness.shard`), fans the shards over the chosen backend
@@ -110,11 +119,15 @@ class SimulationJob:
 
     ``trace_cache_dir`` names the shared on-disk decoded-trace cache (see
     :mod:`repro.uarch.trace`), ``trace_cache_max_bytes`` its LRU byte
-    cap, and ``trace_window`` the decoded-trace window size threaded into
-    the replay core (None: library default).  All three are transport,
+    cap, ``trace_window`` the decoded-trace window size threaded into
+    the replay core (None: library default), and ``engine`` the replay
+    kernel (:mod:`repro.uarch.engine`; None: the executing host's
+    ``REPRO_REPLAY_KERNEL`` default, so heterogeneous grids may run each
+    host on whichever kernel is fastest there).  All four are transport,
     not identity — replay statistics are bit-identical for every window
-    size and cache setting — so none participates in
-    :meth:`fingerprint`.
+    size, cache setting and engine — so none participates in
+    :meth:`fingerprint`, and a result produced by one kernel is a cache
+    hit for every other.
     """
 
     benchmark: str
@@ -123,6 +136,7 @@ class SimulationJob:
     trace_cache_dir: Optional[str] = None
     trace_window: Optional[int] = None
     trace_cache_max_bytes: Optional[int] = None
+    engine: Optional[str] = None
 
     def fingerprint(self) -> str:
         """Content hash of the job's full input set (see :mod:`.cache`)."""
@@ -177,6 +191,7 @@ def run_simulation_job(job: SimulationJob, program=None, trace_cache=None) -> di
         warmup_instructions=config.warmup_instructions,
         trace_cache=local_cache,
         trace_window=job.trace_window,
+        engine=job.engine,
     )
     payload: dict = {"stats": stats_to_dict(stats)}
     if local_cache is not None and local_cache is not trace_cache:
@@ -214,6 +229,8 @@ class ParallelSuiteRunner(SuiteRunner):
         backend: ``"local"`` (in-process / process pool) or ``"queue"``
             (the shared-directory work queue of
             :mod:`repro.harness.queue`).
+        engine: replay kernel jobs are pinned to (None: each executing
+            host's ``REPRO_REPLAY_KERNEL`` default).
     """
 
     def __init__(
@@ -234,8 +251,17 @@ class ParallelSuiteRunner(SuiteRunner):
         shard_span_windows: Optional[int] = None,
         shard_overlap: Union[str, int] = "full",
         shard_slack: Optional[int] = None,
+        engine: Optional[str] = None,
     ):
         super().__init__(config)
+        if engine is not None:
+            # Fail at construction, not inside a worker: statistics are
+            # engine-invariant but a typo should not surface as a grid
+            # of failed jobs.
+            from repro.uarch.engine import resolve_engine_name
+
+            engine = resolve_engine_name(engine)
+        self.engine = engine
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS") or 0) or os.cpu_count() or 1
         if workers < 1:
@@ -299,6 +325,7 @@ class ParallelSuiteRunner(SuiteRunner):
             trace_cache_dir=self.trace_cache_dir,
             trace_window=self.trace_window,
             trace_cache_max_bytes=self.trace_cache_max_bytes,
+            engine=self.engine,
         )
 
     def _fold_trace_counters(self, payload: dict) -> None:
@@ -422,6 +449,7 @@ class ParallelSuiteRunner(SuiteRunner):
                         trace_cache_dir=self.trace_cache_dir,
                         trace_window=self.trace_window,
                         trace_cache_max_bytes=self.trace_cache_max_bytes,
+                        engine=self.engine,
                     )
                 )
             groups.append((start, len(spans)))

@@ -182,6 +182,9 @@ class ShardJob:
     trace_cache_dir: Optional[str] = None
     trace_window: Optional[int] = None
     trace_cache_max_bytes: Optional[int] = None
+    # Replay kernel (transport, not identity — engines are bit-identical
+    # and never participate in the fingerprint, mirroring SimulationJob).
+    engine: Optional[str] = None
 
     def fingerprint(self) -> str:
         span = self.span
@@ -233,6 +236,7 @@ def run_shard_job(job: ShardJob, program=None, trace_cache=None) -> dict:
         measure_commits=span.measure_commits,
         trace_cache=local_cache,
         trace_window=job.trace_window,
+        engine=job.engine,
     )
     payload: dict = {"stats": stats_to_dict(stats)}
     if local_cache is not None and local_cache is not trace_cache:
@@ -262,6 +266,7 @@ def run_sharded(
     slack: int = DEFAULT_SHARD_SLACK,
     trace_cache=None,
     trace_window: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> SimulationStats:
     """Shard one cell in-process and stitch the result (reference path).
 
@@ -291,6 +296,7 @@ def run_sharded(
             span,
             cell_fingerprint="",
             trace_window=trace_window,
+            engine=engine,
         )
         parts.append(run_shard_job(job, program, trace_cache))
     return stitch_payloads(parts)
@@ -305,6 +311,7 @@ def compare_sharded_to_sequential(
     overlap: Union[str, int] = "full",
     slack: int = DEFAULT_SHARD_SLACK,
     trace_window: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> dict:
     """Validation mode: stitched vs. sequential stats on one budget.
 
@@ -323,6 +330,7 @@ def compare_sharded_to_sequential(
         max_instructions=config.max_instructions,
         warmup_instructions=config.warmup_instructions,
         trace_window=trace_window,
+        engine=engine,
     )
     stitched = run_sharded(
         benchmark,
@@ -332,6 +340,7 @@ def compare_sharded_to_sequential(
         overlap=overlap,
         slack=slack,
         trace_window=trace_window,
+        engine=engine,
     )
 
     def _rel(a: float, b: float) -> float:

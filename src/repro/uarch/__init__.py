@@ -50,8 +50,12 @@ Main entry points:
   pre-decoded replay arrays and their memo/cache front door.
 * :class:`~repro.uarch.core.OutOfOrderCore` -- the timing model; pair it
   with a resizing policy from :mod:`repro.techniques` and run.
+* :mod:`repro.uarch.engine` -- the pluggable replay kernels behind the
+  timing loop: ``scalar`` (the reference) and ``columnar`` (numpy
+  structured arrays, batched tag-vector writeback), bit-identical and
+  selectable via ``engine=`` / ``REPRO_REPLAY_KERNEL``.
 * :func:`~repro.uarch.core.simulate` -- convenience wrapper that wires the
-  decoded trace, the core, a policy and the statistics together.
+  decoded trace, a replay engine, a policy and the statistics together.
 """
 
 from repro.uarch.config import DEFAULT_TRACE_WINDOW_ENTRIES, ProcessorConfig
@@ -68,6 +72,14 @@ from repro.uarch.trace import (
     trace_events,
 )
 from repro.uarch.core import OutOfOrderCore, simulate, simulate_span
+from repro.uarch.engine import (
+    ColumnarEngine,
+    ReplayEngine,
+    ScalarEngine,
+    available_engines,
+    get_engine,
+    resolve_engine_name,
+)
 
 __all__ = [
     "DEFAULT_TRACE_WINDOW_ENTRIES",
@@ -88,4 +100,10 @@ __all__ = [
     "OutOfOrderCore",
     "simulate",
     "simulate_span",
+    "ReplayEngine",
+    "ScalarEngine",
+    "ColumnarEngine",
+    "available_engines",
+    "get_engine",
+    "resolve_engine_name",
 ]

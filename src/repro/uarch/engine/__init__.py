@@ -1,0 +1,53 @@
+"""Pluggable replay engines for the per-cycle timing loop.
+
+The simulator separates *what* a cycle does from *how* a kernel executes
+it: :class:`~repro.uarch.engine.base.ReplayEngine` is the contract
+(``run`` over a trace window stream, plus the ``run_span``
+freeze-at-commit entry window sharding stitches), and two kernels
+implement it —
+
+* :class:`~repro.uarch.engine.scalar.ScalarEngine` (``"scalar"``): the
+  pure-Python reference loop, behaviour frozen;
+* :class:`~repro.uarch.engine.columnar.ColumnarEngine` (``"columnar"``):
+  trace windows lowered into numpy structured arrays with batched
+  tag-vector writeback and mask-based ready-set updates.
+
+Statistics are **bit-identical** between kernels for every technique at
+every window size, so the engine choice is pure transport: it is
+selectable per call (``engine=``), per process (``REPRO_REPLAY_KERNEL``)
+and per run (``figure_report.py --engine``, ``pytest --engine``), and it
+never participates in result-cache fingerprints.
+"""
+
+from repro.uarch.engine.base import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    ReplayEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    resolve_engine_name,
+)
+from repro.uarch.engine.scalar import OutOfOrderCore, ScalarEngine
+from repro.uarch.engine.columnar import (
+    ColumnarCore,
+    ColumnarEngine,
+    ColumnarUnavailableError,
+    numpy_available,
+)
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "ReplayEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "resolve_engine_name",
+    "OutOfOrderCore",
+    "ScalarEngine",
+    "ColumnarCore",
+    "ColumnarEngine",
+    "ColumnarUnavailableError",
+    "numpy_available",
+]

@@ -1,0 +1,374 @@
+"""The columnar replay kernel: numpy structured arrays, batched wakeup.
+
+``ColumnarCore`` subclasses the scalar reference loop and lowers the two
+places where the scalar kernel does per-element Python work over whole
+structures onto numpy:
+
+* **Trace windows** carry a numpy structured-array lowering
+  (:class:`ColumnarWindow`): each incoming
+  :class:`~repro.uarch.trace.DecodedTrace` window exposes a record
+  array of ``(pc, next_pc, mem_addr, taken, flags, latency, fu_idx)``
+  — the batch-operable interchange form, built lazily on first read —
+  while the element-read views the scalar stages index share the
+  source window's own C-backed arrays (boxed numpy scalar reads in the
+  fetch/dispatch loops measure far more expensive than list indexing;
+  see :class:`ColumnarWindow`).  The Python-object columns (static
+  instruction references, rename specs, issue-queue tags) are shared
+  with the source window, never copied.
+* **Writeback broadcasts are batched by tag vector**: instead of the
+  per-tag consumer-list scan of ``BankedIssueQueue.broadcast``, the
+  kernel keeps the issue queue's waiting operands as a ``(capacity ×
+  operands)`` tag matrix, matches the cycle's whole destination-tag
+  vector against every operand column in one broadcast-equality pass,
+  clears the matched cells with one sliced assignment, and derives the
+  newly-ready set from per-slot outstanding-operand counts.  Dispatch
+  keeps the matrix in sync by rewriting each newly allocated slot's row
+  after the scalar dispatch stage runs.
+
+Bit-identity is a hard invariant, not an aspiration.  The machine
+semantics all live in the scalar stages this class inherits unchanged
+(commit, issue, dispatch admission, fetch, event-driven sampling); the
+batched writeback reproduces the scalar loop's counters exactly:
+
+* destination tags within one cycle are unique (each physical register
+  has a single in-flight producer), so per-tag wake counts are
+  well-defined and the matrix match wakes exactly the (slot, operand)
+  pairs the scalar per-tag scan would;
+* the gated-comparator count samples the waiting-operand population
+  *before each broadcast* in tag order, which the kernel replays over
+  the per-tag wake histogram (``Σᵢ (W₀ − Σ_{j<i} wakes_j)``) —
+  identical to the scalar running sample for any interleaving;
+* ready entries are inserted keyed by allocation age and the issue
+  stage selects by sorted age, so insertion order never matters.
+
+The equivalence suite (``tests/test_engines.py``) asserts byte-identical
+statistics against the scalar kernel for all six techniques at every
+window size, including 1.
+
+numpy is an optional dependency (the ``columnar`` install extra): this
+module imports with or without it, and selecting the columnar engine on
+a host without numpy raises :class:`ColumnarUnavailableError` naming the
+extra — never a bare ``ImportError`` from callsite depth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # Optional dependency: the scalar engine must work without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _require_numpy tests
+    _np = None
+
+from repro.uarch.engine.base import ReplayEngine, register_engine
+from repro.uarch.engine.scalar import COMPLETED, OutOfOrderCore
+
+
+class ColumnarUnavailableError(RuntimeError):
+    """The columnar kernel was selected but numpy is not installed."""
+
+
+def numpy_available() -> bool:
+    """True when the columnar kernel can actually run on this host."""
+    return _np is not None
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise ColumnarUnavailableError(
+            "the columnar replay engine needs numpy, which is not installed "
+            "on this host; install the 'columnar' extra (pip install "
+            "'.[columnar]', i.e. numpy) or select the scalar kernel "
+            "(engine='scalar' / REPRO_REPLAY_KERNEL=scalar)"
+        )
+
+
+def _column_dtype():
+    """The structured dtype one trace window is lowered into."""
+    return _np.dtype(
+        [
+            ("pc", _np.int64),
+            ("next_pc", _np.int64),
+            ("mem_addr", _np.int64),
+            ("taken", _np.uint8),
+            ("flags", _np.uint8),
+            # int64: cycle arithmetic headroom for any vectorized consumer
+            # (numpy 2 raises rather than promotes when a python-int operand
+            # overflows a narrow array dtype, NEP 50).
+            ("latency", _np.int64),
+            ("fu_idx", _np.uint8),
+        ]
+    )
+
+
+class ColumnarWindow:
+    """One decoded window with a structured-array lowering on demand.
+
+    ``columns`` is the lowered record array — the batch-operable
+    interchange form of the window, materialised lazily on first read
+    (the round-trip equivalence test and any future vectorized stage
+    consume it; nothing in the current per-cycle loop does, so eager
+    construction would be pure per-window cost on the cold path).  The
+    element-read surface the inherited scalar stages index (``pc``,
+    ``flags``, ...) **shares the source window's own arrays**: fetch and
+    dispatch read one element at a time, and a boxed numpy scalar per
+    read costs several times a C-array element while buying nothing
+    (measured on the perf bench — field-view reads put the whole kernel
+    ~2x behind scalar).  The batched structure that earns its keep —
+    the waiting-operand tag matrix — lives in :class:`ColumnarCore`.
+    """
+
+    __slots__ = (
+        "length",
+        "statics",
+        "static_idx",
+        "pc",
+        "next_pc",
+        "taken",
+        "mem_addr",
+        "flags",
+        "latency",
+        "fu_idx",
+        "iq_tag",
+        "rename_specs",
+        "_columns",
+    )
+
+    def __init__(self, trace):
+        self.length = trace.length
+        self.pc = trace.pc
+        self.next_pc = trace.next_pc
+        self.mem_addr = trace.mem_addr
+        self.taken = trace.taken
+        self.flags = trace.flags
+        self.latency = trace.latency
+        self.fu_idx = trace.fu_idx
+        self.statics = trace.statics
+        self.static_idx = trace.static_idx
+        self.iq_tag = trace.iq_tag
+        self.rename_specs = trace.rename_specs
+        self._columns = None
+
+    @property
+    def columns(self):
+        """The window as one numpy structured array (built on first use)."""
+        if self._columns is None:
+            columns = _np.empty(self.length, dtype=_column_dtype())
+            columns["pc"] = self.pc
+            columns["next_pc"] = self.next_pc
+            columns["mem_addr"] = self.mem_addr
+            # Byte columns are bytearrays: frombuffer is a zero-copy view.
+            columns["taken"] = _np.frombuffer(self.taken, dtype=_np.uint8)
+            columns["flags"] = _np.frombuffer(self.flags, dtype=_np.uint8)
+            columns["latency"] = _np.frombuffer(self.latency, dtype=_np.uint8)
+            columns["fu_idx"] = _np.frombuffer(self.fu_idx, dtype=_np.uint8)
+            self._columns = columns
+        return self._columns
+
+    def __len__(self) -> int:
+        return self.length
+
+
+class ColumnarCore(OutOfOrderCore):
+    """The scalar machine with columnar trace windows and batched wakeup."""
+
+    def __init__(self, *args, **kwargs):
+        _require_numpy()
+        super().__init__(*args, **kwargs)
+        # At construction fetch and dispatch share the single resident
+        # window; lower it once and point both references at the view.
+        lowered = ColumnarWindow(self._f_trace)
+        self._f_trace = lowered
+        self._d_trace = lowered
+        # Columnar mirror of the issue queue's waiting operands: row =
+        # slot, cell = outstanding source tag (-1 when empty/woken).  The
+        # invariant is that a row always describes the slot's *current*
+        # occupant: dispatch rewrites the row on allocation, wakeup
+        # clears cells, and an entry only leaves the queue once ready
+        # (row already all -1) — so a matrix match is exactly the scalar
+        # "resident and still waiting on this tag" test.
+        capacity = self.iq.capacity
+        self._wait_width = 2
+        self._wait_tags = _np.full((capacity, self._wait_width), -1, dtype=_np.int64)
+        # Outstanding-operand count per slot.  A plain list: it is only
+        # ever touched a handful of entries at a time (dispatch width,
+        # match count), where Python int ops beat numpy call overhead.
+        self._wait_num = [0] * capacity
+
+    # ------------------------------------------------------------------
+    # Trace-window lowering
+    # ------------------------------------------------------------------
+    def _advance_fetch_window(self) -> bool:
+        if not super()._advance_fetch_window():
+            return False
+        # The base method appended the new window and made it the fetch
+        # window; replace both references with the lowered view so the
+        # dispatch stage later pops the very same object.
+        lowered = ColumnarWindow(self._f_trace)
+        self._f_trace = lowered
+        self._win_queue[-1] = lowered
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch: run the scalar stage, then sync the tag matrix
+    # ------------------------------------------------------------------
+    def _grow_wait_width(self, needed: int) -> None:
+        width = max(needed, self._wait_width * 2)
+        grown = _np.full((self.iq.capacity, width), -1, dtype=_np.int64)
+        grown[:, : self._wait_width] = self._wait_tags
+        self._wait_tags = grown
+        self._wait_width = width
+
+    def _dispatch(self) -> None:
+        iq = self.iq
+        capacity = iq.capacity
+        tail_before = iq.tail
+        # The allocation age increments exactly once per admitted entry
+        # (the tail delta alone is ambiguous when a tiny queue wraps a
+        # full turn in one cycle).
+        age_before = iq._next_age
+        super()._dispatch()
+        allocated = iq._next_age - age_before
+        if not allocated:
+            return
+        # The tail advances one slot per allocation, so the new rows are
+        # exactly the slots the tail swept this cycle.
+        slots = iq.slots
+        wn = self._wait_num
+        wt = self._wait_tags
+        slot = tail_before
+        for _ in range(allocated):
+            waiting = slots[slot].waiting_tags
+            k = len(waiting)
+            if k:
+                if k > self._wait_width:
+                    self._grow_wait_width(k)
+                    wt = self._wait_tags
+                row = wt[slot]
+                for op, tag in enumerate(waiting):
+                    row[op] = tag
+            wn[slot] = k
+            slot = (slot + 1) % capacity
+
+    # ------------------------------------------------------------------
+    # Writeback: one tag-vector match instead of per-tag consumer scans
+    # ------------------------------------------------------------------
+    def _writeback(self) -> None:
+        finishing = self._completion_events.pop(self.cycle, None)
+        if not finishing:
+            return
+        iq = self.iq
+        iq_consumers = iq._consumers
+        tag_ready = self._tag_ready
+        int_phys = self.config.int_phys_regs
+        cycle = self.cycle
+        tags: list[int] = []
+        rf_writes = 0
+        may_match = False
+        for entry in finishing:
+            # Inlined ReorderBuffer.mark_completed (as in the scalar stage).
+            entry.state = COMPLETED
+            entry.completion_cycle = cycle
+            for tag in entry.dest_tags:
+                if tag < int_phys:
+                    rf_writes += 1
+                tag_ready[tag] = 1
+                tags.append(tag)
+                # The scalar dispatch stage (inherited) still registers
+                # consumers; matching is columnar, so drop the list to
+                # keep the dict bounded — and use its presence as an
+                # exact gate: a matrix cell can only hold ``tag`` while
+                # an entry waits on it, which is precisely when the tag
+                # has a registered consumer list.  Broadcasts nobody
+                # waits for (the common case) skip the vectorized pass.
+                if iq_consumers.pop(tag, None) is not None:
+                    may_match = True
+            # Resolve a front-end block if this was the mispredicted branch.
+            if (
+                self._fetch_blocked_on_seq is not None
+                and entry.dyn == self._fetch_blocked_on_seq
+            ):
+                self._fetch_blocked_on_seq = None
+                self._fetch_resume_cycle = max(
+                    self._fetch_resume_cycle,
+                    cycle + self.config.branch_mispredict_penalty,
+                )
+
+        broadcasts = len(tags)
+        waiting_before = iq.waiting_operand_count
+        cmp_gated = broadcasts * waiting_before
+        if may_match and waiting_before:
+            np = _np
+            # One vectorized pass: the whole cycle's destination-tag
+            # vector against every waiting operand column of the queue
+            # (the CAM analogue the scalar path does per tag).
+            tag_vec = np.asarray(tags, dtype=np.int64)
+            wt = self._wait_tags
+            rows, cols, _ = np.nonzero(wt[:, :, None] == tag_vec)
+            if rows.size:
+                # The match set is tiny (bounded by the cycle's wakeups),
+                # so the per-match bookkeeping runs in Python: numpy call
+                # overhead would dwarf the work.
+                matched_tags = wt[rows, cols].tolist()
+                wt[rows, cols] = -1
+                wakes_by_tag: dict[int, int] = {}
+                for tag in matched_tags:
+                    wakes_by_tag[tag] = wakes_by_tag.get(tag, 0) + 1
+                # The scalar loop samples the waiting-operand population
+                # before each broadcast, in tag order; replay that running
+                # sample over the wake histogram.
+                population = waiting_before
+                cmp_gated = 0
+                for tag in tags:
+                    cmp_gated += population
+                    population -= wakes_by_tag.get(tag, 0)
+                iq.waiting_operand_count = population
+                # Ready-set update: slots whose outstanding count hit
+                # zero join the age-keyed ready set (issue selects by
+                # sorted age, so insertion order is irrelevant).
+                wn = self._wait_num
+                slots = iq.slots
+                ready_by_age = iq._ready_by_age
+                for slot in rows.tolist():
+                    remaining = wn[slot] - 1
+                    wn[slot] = remaining
+                    if remaining == 0:
+                        ready = slots[slot]
+                        ready.waiting_tags.clear()
+                        ready_by_age[ready.age] = ready
+
+        self._sample_dirty = True
+        if self._warmup_done and broadcasts:
+            self.rename.int_file.record_writes(rf_writes)
+            stats = self.stats
+            stats.rf_writes += rf_writes
+            stats.iq_broadcasts += broadcasts
+            stats.iq_cmp_full += broadcasts * iq.cmp_full_per_broadcast
+            stats.iq_cmp_gated += cmp_gated
+
+
+@register_engine
+class ColumnarEngine(ReplayEngine):
+    """The numpy structured-array kernel (``engine="columnar"``)."""
+
+    name = "columnar"
+
+    def build_core(
+        self,
+        trace,
+        *,
+        config=None,
+        policy=None,
+        warmup_instructions: int = 0,
+        max_cycles: Optional[int] = None,
+        measure_instructions: Optional[int] = None,
+    ) -> ColumnarCore:
+        _require_numpy()
+        return ColumnarCore(
+            trace,
+            config=config,
+            policy=policy,
+            warmup_instructions=warmup_instructions,
+            max_cycles=max_cycles,
+            measure_instructions=measure_instructions,
+        )

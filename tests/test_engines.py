@@ -1,0 +1,265 @@
+"""The replay-engine architecture: selection, equivalence, invariance.
+
+The contract under test (see :mod:`repro.uarch.engine`):
+
+* **Bit-identity** — the columnar kernel's statistics are byte-identical
+  to the scalar reference for all six techniques, at every trace window
+  size including 1, across warm-up boundaries, and through the
+  freeze-at-commit measure-span entry the shard stitcher uses.
+* **Fingerprint neutrality** — the engine never changes result-cache
+  keys: a grid simulated under one kernel is a pure cache hit under the
+  other.
+* **Guarded availability** — selecting the columnar kernel without
+  numpy fails with one clear error naming the install extra, not an
+  ``ImportError`` from callsite depth.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import compile_program
+from repro.harness import ParallelSuiteRunner, RunConfig
+from repro.harness.cache import stats_to_dict
+from repro.harness.experiment import SOFTWARE_TECHNIQUES, TECHNIQUES, make_policy
+from repro.harness.parallel import SimulationJob
+from repro.harness.shard import ShardJob, ShardSpan, run_sharded
+from repro.uarch import available_engines, get_engine, resolve_engine_name, simulate
+from repro.uarch.core import simulate_span
+from repro.uarch.engine import base as engine_base
+from repro.uarch.engine import columnar as columnar_module
+from repro.uarch.engine.columnar import ColumnarUnavailableError
+from repro.uarch.engine.scalar import OutOfOrderCore
+from repro.workloads import build_benchmark
+
+BENCHMARK = "gzip"
+BUDGET = 2_500
+WARMUP = 400
+
+_CONFIG = RunConfig(max_instructions=BUDGET, warmup_instructions=WARMUP)
+_PROGRAMS: dict[str, object] = {}
+
+
+def _program_for(technique: str):
+    """The (possibly instrumented) program for ``technique``, memoised."""
+    key = technique if technique in SOFTWARE_TECHNIQUES else "plain"
+    program = _PROGRAMS.get(key)
+    if program is None:
+        if technique in SOFTWARE_TECHNIQUES:
+            program = compile_program(
+                build_benchmark(BENCHMARK),
+                _CONFIG.compiler_config,
+                mode=technique,
+            ).instrumented_program
+        else:
+            program = build_benchmark(BENCHMARK)
+        _PROGRAMS[key] = program
+    return program
+
+
+def _stats_bytes(stats) -> bytes:
+    return json.dumps(stats_to_dict(stats), sort_keys=True).encode()
+
+
+def _run(technique: str, engine: str, window: int, warmup: int = WARMUP):
+    return simulate(
+        _program_for(technique),
+        make_policy(technique, _CONFIG),
+        max_instructions=BUDGET,
+        warmup_instructions=warmup,
+        trace_window=window,
+        engine=engine,
+    )
+
+
+class TestEngineSelection:
+    def test_both_kernels_are_registered(self):
+        assert set(available_engines()) >= {"scalar", "columnar"}
+
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(engine_base.ENGINE_ENV_VAR, raising=False)
+        assert resolve_engine_name() == "scalar"
+
+    def test_environment_supplies_the_default(self, monkeypatch):
+        monkeypatch.setenv(engine_base.ENGINE_ENV_VAR, "columnar")
+        assert resolve_engine_name() == "columnar"
+        # An explicit argument still wins over the environment.
+        assert resolve_engine_name("scalar") == "scalar"
+
+    def test_unknown_engine_fails_naming_the_choices(self):
+        with pytest.raises(ValueError, match="scalar"):
+            resolve_engine_name("vector9000")
+
+    def test_unknown_engine_is_rejected_at_runner_construction(self):
+        with pytest.raises(ValueError, match="vector9000"):
+            ParallelSuiteRunner(_CONFIG, workers=1, engine="vector9000")
+
+    def test_engine_instances_are_shared(self):
+        assert get_engine("scalar") is get_engine("scalar")
+        assert get_engine("scalar").build_core([]) .__class__ is OutOfOrderCore
+
+
+class TestEngineEquivalence:
+    """Scalar vs columnar bit-identity, the tentpole invariant."""
+
+    @pytest.mark.parametrize("technique", TECHNIQUES)
+    @pytest.mark.parametrize("window", (1, 7, 4096))
+    def test_bit_identical_across_techniques_and_windows(self, technique, window):
+        """All six techniques × window sizes {1, 7, 4096} (4096 exceeds
+        the budget, covering the monolithic single-window path)."""
+        scalar = _run(technique, "scalar", window)
+        columnar = _run(technique, "columnar", window)
+        assert _stats_bytes(scalar) == _stats_bytes(columnar)
+
+    @pytest.mark.parametrize("warmup", (0, 1, WARMUP, BUDGET // 2))
+    def test_bit_identical_across_warmup_boundaries(self, warmup):
+        """The warm-up clock rebase (completion events, ready cycles,
+        fetch queue) must behave identically under the columnar mirrors,
+        wherever the boundary falls."""
+        scalar = _run("abella", "scalar", 640, warmup=warmup)
+        columnar = _run("abella", "columnar", 640, warmup=warmup)
+        assert _stats_bytes(scalar) == _stats_bytes(columnar)
+
+    @pytest.mark.parametrize("technique", ("baseline", "abella", "improved"))
+    def test_measure_span_freeze_is_bit_identical(self, technique):
+        """The freeze-at-commit entry (``simulate_span``) the shard
+        stitcher depends on: statistics frozen mid-commit must match."""
+        kwargs = dict(
+            max_instructions=BUDGET,
+            first_entry=0,
+            last_entry=2_000,
+            warmup_commits=300,
+            measure_commits=700,
+            trace_window=512,
+        )
+        program = _program_for(technique)
+        scalar = simulate_span(
+            program, make_policy(technique, _CONFIG), engine="scalar", **kwargs
+        )
+        columnar = simulate_span(
+            program, make_policy(technique, _CONFIG), engine="columnar", **kwargs
+        )
+        assert _stats_bytes(scalar) == _stats_bytes(columnar)
+
+    def test_columnar_shard_stitch_matches_sequential(self):
+        """``merge_stats`` over full-overlap shards replayed by the
+        columnar kernel is bit-identical to one sequential run — and to
+        the scalar kernel's stitch of the same plan."""
+        sequential = _run("abella", "columnar", 640)
+        for engine in ("scalar", "columnar"):
+            stitched = run_sharded(
+                BENCHMARK,
+                "abella",
+                _CONFIG,
+                span_entries=800,
+                overlap="full",
+                trace_window=640,
+                engine=engine,
+            )
+            assert _stats_bytes(stitched) == _stats_bytes(sequential)
+
+
+class TestColumnarWindowLowering:
+    def test_structured_array_round_trips_the_window(self):
+        """The lazy record-array lowering must agree with the source
+        window column for column (it is the batch interchange form any
+        future vectorized stage will consume)."""
+        from repro.uarch.engine.columnar import ColumnarWindow
+        from repro.uarch.trace import get_decoded_trace
+
+        trace = get_decoded_trace(_program_for("baseline"), 500)
+        window = ColumnarWindow(trace)
+        assert window._columns is None  # built on demand, not eagerly
+        columns = window.columns
+        assert len(columns) == trace.length == len(window)
+        assert columns["pc"].tolist() == list(trace.pc)
+        assert columns["next_pc"].tolist() == list(trace.next_pc)
+        assert columns["mem_addr"].tolist() == list(trace.mem_addr)
+        assert columns["taken"].tolist() == list(trace.taken)
+        assert columns["flags"].tolist() == list(trace.flags)
+        assert columns["latency"].tolist() == list(trace.latency)
+        assert columns["fu_idx"].tolist() == list(trace.fu_idx)
+        assert window.columns is columns  # memoised
+
+
+class TestFingerprintInvariance:
+    """Engines are transport: cache keys must not see them."""
+
+    def test_simulation_job_fingerprint_ignores_the_engine(self):
+        jobs = [
+            SimulationJob(BENCHMARK, "baseline", _CONFIG, engine=engine)
+            for engine in (None, "scalar", "columnar")
+        ]
+        assert len({job.fingerprint() for job in jobs}) == 1
+
+    def test_shard_job_fingerprint_ignores_the_engine(self):
+        span = ShardSpan(
+            index=0,
+            start=0,
+            stop=1_000,
+            warm_start=0,
+            feed_stop=1_500,
+            warmup_commits=0,
+            measure_commits=800,
+        )
+        jobs = [
+            ShardJob(
+                BENCHMARK,
+                "baseline",
+                _CONFIG,
+                span,
+                cell_fingerprint="cell",
+                engine=engine,
+            )
+            for engine in (None, "scalar", "columnar")
+        ]
+        assert len({job.fingerprint() for job in jobs}) == 1
+
+    def test_grid_cached_under_one_kernel_is_hit_under_the_other(self, tmp_path):
+        config = RunConfig(
+            max_instructions=1_500, warmup_instructions=200, benchmarks=(BENCHMARK,)
+        )
+        first = ParallelSuiteRunner(
+            config, workers=1, cache_dir=str(tmp_path), engine="scalar"
+        )
+        first.run_suite(techniques=("baseline", "abella"))
+        assert first.simulations_run == 2
+        second = ParallelSuiteRunner(
+            config, workers=1, cache_dir=str(tmp_path), engine="columnar"
+        )
+        results = second.run_suite(techniques=("baseline", "abella"))
+        assert second.simulations_run == 0  # engine-invariant fingerprints
+        assert set(results) == {(BENCHMARK, "baseline"), (BENCHMARK, "abella")}
+
+
+class TestColumnarAvailabilityGuard:
+    def test_missing_numpy_raises_a_clear_error(self, monkeypatch):
+        monkeypatch.setattr(columnar_module, "_np", None)
+        assert not columnar_module.numpy_available()
+        with pytest.raises(ColumnarUnavailableError) as excinfo:
+            get_engine("columnar").build_core([])
+        message = str(excinfo.value)
+        assert "columnar" in message  # names the install extra
+        assert "scalar" in message  # and the fallback kernel
+
+    def test_simulate_surfaces_the_guard_not_an_import_error(self, monkeypatch):
+        monkeypatch.setattr(columnar_module, "_np", None)
+        with pytest.raises(ColumnarUnavailableError):
+            simulate(
+                _program_for("baseline"),
+                make_policy("baseline", _CONFIG),
+                max_instructions=200,
+                engine="columnar",
+            )
+
+    def test_scalar_engine_never_needs_numpy(self, monkeypatch):
+        monkeypatch.setattr(columnar_module, "_np", None)
+        stats = simulate(
+            _program_for("baseline"),
+            make_policy("baseline", _CONFIG),
+            max_instructions=200,
+            engine="scalar",
+        )
+        assert stats.committed_instructions > 0

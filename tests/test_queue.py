@@ -330,3 +330,250 @@ class TestWorkerLoop:
         worker = QueueWorker(queue, poll_interval=0.05, max_jobs=1)
         assert worker.run() == 1
         assert queue.status()["pending"] == 1
+
+
+class TestBatchedClaims:
+    """One pending-directory listing backs up to k atomic renames."""
+
+    def _enqueue_grid(self, queue, count=5):
+        jobs = [
+            _job(config=dataclasses.replace(TINY_CONFIG, max_instructions=1_000 + index))
+            for index in range(count)
+        ]
+        return [queue.enqueue(job) for job in jobs]
+
+    def test_claim_batch_leases_up_to_the_limit(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        self._enqueue_grid(queue, count=5)
+        claims = queue.claim_batch("w1", limit=3)
+        assert len(claims) == 3
+        assert queue.status()["pending"] == 2
+        assert queue.status()["leased"] == 3
+        for claimed in claims:
+            assert claimed.lease_path.exists()
+        # The remainder drains with one more listing; over-asking is fine.
+        rest = queue.claim_batch("w1", limit=10)
+        assert len(rest) == 2
+        assert queue.claim_batch("w1", limit=10) == []
+
+    def test_status_reports_claim_batch_stats(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        self._enqueue_grid(queue, count=4)
+        queue.claim_batch("w1", limit=4)
+        claims = queue.status()["claims_this_process"]
+        assert claims["claimed"] == 4
+        assert claims["claim_batches"] == 1
+        assert claims["mean_batch_size"] == 4.0
+
+    def test_single_claim_is_a_batch_of_one(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        self._enqueue_grid(queue, count=2)
+        assert queue.claim("w1") is not None
+        claims = queue.status()["claims_this_process"]
+        assert claims == {
+            "claimed": 1,
+            "claim_batches": 1,
+            "mean_batch_size": 1.0,
+        }
+
+    def test_claim_batch_rejects_a_nonpositive_limit(self, tmp_path):
+        with pytest.raises(ValueError):
+            WorkQueue(tmp_path, ttl=30).claim_batch("w1", limit=0)
+
+    def test_batch_heartbeats_every_held_lease(self, tmp_path, monkeypatch):
+        """While job 1 of a batch runs past the TTL, the leases of the
+        jobs queued behind it must keep heartbeating — otherwise a
+        sweeper re-leases them and the batch's round-trip saving turns
+        into duplicated work."""
+        import threading
+
+        from repro.harness import queue as queue_module
+
+        ttl = 0.6
+        queue = WorkQueue(tmp_path, ttl=ttl)
+        self._enqueue_grid(queue, count=2)
+        claims = queue.claim_batch("w1", limit=2)
+        assert len(claims) == 2
+
+        def _slow_job(claimed):
+            time.sleep(ttl * 1.5)  # longer than the TTL; beats are TTL/4
+            return {"stats": {"cycles": 1}}
+
+        monkeypatch.setattr(queue_module, "execute_queue_job", _slow_job)
+        worker = threading.Thread(
+            target=queue_module.process_claimed_jobs,
+            args=(queue, claims, "w1"),
+        )
+        worker.start()
+        try:
+            swept = []
+            while worker.is_alive():
+                swept.extend(queue.requeue_expired())
+                time.sleep(0.05)
+        finally:
+            worker.join()
+        assert swept == []  # heartbeats kept every held lease fresh
+        for claimed in claims:
+            marker = queue.done_marker(claimed.fingerprint)
+            assert marker is not None and "error" not in marker
+
+
+class TestIdleGcSweeps:
+    """Idle workers double as cache janitors on a jittered period."""
+
+    def _plant_garbage(self, queue) -> tuple:
+        """An orphaned temp file and an expired completion marker."""
+        from repro.atomicio import TMP_PREFIX
+        from repro.harness.cache import (
+            DEFAULT_DONE_MARKER_MAX_AGE_SECONDS,
+            DEFAULT_TMP_MAX_AGE_SECONDS,
+        )
+
+        orphan = queue.cache_dir / (TMP_PREFIX + "dead-writer")
+        orphan.write_text("{}")
+        stale = time.time() - DEFAULT_TMP_MAX_AGE_SECONDS - 60
+        os.utime(orphan, (stale, stale))
+        marker = queue.done_dir / ("b" * 64 + ".json")
+        marker.write_text("{}")
+        expired = time.time() - DEFAULT_DONE_MARKER_MAX_AGE_SECONDS - 60
+        os.utime(marker, (expired, expired))
+        return orphan, marker
+
+    def test_idle_worker_sweeps_on_the_jittered_interval(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        orphan, marker = self._plant_garbage(queue)
+        worker = QueueWorker(
+            queue,
+            worker_id="janitor",
+            poll_interval=0.01,
+            drain=True,
+            drain_grace=0.3,
+            gc_interval=0.02,
+        )
+        assert worker.run() == 0  # empty queue: pure idle
+        assert worker.gc_sweeps >= 1
+        assert not orphan.exists()
+        assert not marker.exists()
+
+    def test_gc_disabled_leaves_garbage_alone(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        orphan, marker = self._plant_garbage(queue)
+        worker = QueueWorker(
+            queue,
+            worker_id="lazy",
+            poll_interval=0.01,
+            drain=True,
+            drain_grace=0.05,
+            gc_interval=None,
+        )
+        worker.run()
+        assert worker.gc_sweeps == 0
+        assert orphan.exists() and marker.exists()
+
+    def test_gc_never_touches_live_protocol_files(self, tmp_path):
+        """A pending job must survive a sweep even when its file is old
+        — it is live protocol state, not garbage."""
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        stale = time.time() - 14 * 24 * 3600
+        os.utime(queue.pending_path(fingerprint), (stale, stale))
+        worker = QueueWorker(
+            queue,
+            worker_id="janitor",
+            poll_interval=0.01,
+            max_jobs=0,
+            gc_interval=0.0001,
+        )
+        worker._maybe_gc(time.time() + 1)
+        assert worker.gc_sweeps == 1
+        assert queue.pending_path(fingerprint).exists()
+
+
+class TestWorkerStatsPublication:
+    """Claim-batch stats must be observable from *other* processes."""
+
+    def test_worker_publishes_counters_into_the_queue_directory(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        for index in range(2):
+            queue.enqueue(
+                _job(
+                    config=dataclasses.replace(
+                        TINY_CONFIG, max_instructions=1_000 + index
+                    )
+                )
+            )
+        worker = QueueWorker(
+            queue,
+            worker_id="stats-w1",
+            poll_interval=0.01,
+            drain=True,
+            drain_grace=0.05,
+            claim_batch=2,
+        )
+        assert worker.run() == 2
+        stats_file = queue.workers_dir / "stats-w1.json"
+        assert stats_file.exists()
+        payload = json.loads(stats_file.read_text())
+        assert payload["claimed"] == 2
+        assert payload["claim_batches"] == 1
+        assert payload["jobs_done"] == 2
+
+        # A *fresh* WorkQueue (the --status CLI, another host) sees the
+        # fleet totals even though its own in-process counters are zero.
+        observer = WorkQueue(tmp_path, ttl=30)
+        status = observer.status()
+        assert status["claims_this_process"]["claimed"] == 0
+        assert status["workers"]["workers"] == 1
+        assert status["workers"]["claimed"] == 2
+        assert status["workers"]["claim_batches"] == 1
+        assert status["workers"]["mean_batch_size"] == 2.0
+
+    def test_malformed_worker_stats_are_skipped(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        (queue.workers_dir / "broken.json").write_text("{not json")
+        (queue.workers_dir / "foreign.json").write_text('{"format": 99}')
+        assert queue.worker_stats()["workers"] == 0
+
+    def test_stale_worker_stats_expire_via_gc(self, tmp_path):
+        from repro.harness.cache import (
+            DEFAULT_DONE_MARKER_MAX_AGE_SECONDS,
+            gc_cache_tree,
+        )
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        dead = queue.workers_dir / "dead-host.json"
+        dead.write_text('{"format": 1, "claimed": 5, "claim_batches": 2}')
+        expired = time.time() - DEFAULT_DONE_MARKER_MAX_AGE_SECONDS - 60
+        os.utime(dead, (expired, expired))
+        live = queue.workers_dir / "live-host.json"
+        live.write_text('{"format": 1, "claimed": 1, "claim_batches": 1}')
+        gc_cache_tree(tmp_path)
+        assert not dead.exists()
+        assert live.exists()
+
+    def test_worker_id_is_sanitised_into_a_safe_filename(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        worker = QueueWorker(queue, worker_id="../rack1/host 7", poll_interval=0.01)
+        worker._publish_stats()
+        [stats_file] = [
+            p for p in queue.workers_dir.iterdir() if not p.name.startswith(".")
+        ]
+        assert stats_file.parent == queue.workers_dir
+        # Path bytes rewritten, plus a digest so distinct raw ids that
+        # sanitise alike cannot clobber one another's stats file.
+        assert stats_file.name.startswith("-rack1-host-7-")
+        assert stats_file.name.endswith(".json")
+        # The payload still records the operator's original id verbatim.
+        assert json.loads(stats_file.read_text())["worker"] == "../rack1/host 7"
+
+    def test_distinct_ids_with_identical_sanitisations_do_not_collide(
+        self, tmp_path
+    ):
+        queue = WorkQueue(tmp_path, ttl=30)
+        QueueWorker(queue, worker_id="rack1/host7")._publish_stats()
+        QueueWorker(queue, worker_id="rack1 host7")._publish_stats()
+        files = [
+            p for p in queue.workers_dir.iterdir() if not p.name.startswith(".")
+        ]
+        assert len(files) == 2
+        assert queue.worker_stats()["workers"] == 2
