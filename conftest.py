@@ -47,6 +47,20 @@ def pytest_addoption(parser) -> None:
     except ImportError:
         engines = ("scalar", "columnar")
 
+    # Opt-out for the reprolint tier-1 gate (tests/test_analysis.py's
+    # shipped-tree check).  Default ON: a plain `python -m pytest -x -q`
+    # fails on any new invariant violation under src/; pass --no-lint
+    # while iterating on a change that is expected to lint dirty.  The
+    # per-rule unit tests always run — only the whole-tree gate is
+    # skippable.
+    parser.addoption(
+        "--no-lint",
+        action="store_true",
+        default=False,
+        help="skip the reprolint shipped-tree gate "
+        "(python -m repro.analysis src/) in tests/test_analysis.py",
+    )
+
     parser.addoption(
         "--engine",
         choices=engines,

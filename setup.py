@@ -1,19 +1,35 @@
 """Setup shim so editable installs work without the `wheel` package.
 
 This file enables the legacy `pip install -e .` code path on environments
-whose setuptools cannot build PEP 660 editable wheels, and declares the
-optional dependency of the columnar replay engine.
+whose setuptools cannot build PEP 660 editable wheels, declares the
+optional dependency of the columnar replay engine, and lists the
+package tree (``repro`` is a namespace package, so discovery must be
+explicit) including the :mod:`repro.analysis` static checker and its
+``repro-lint`` console entry point.
 
 numpy is deliberately an *extra*, not a hard requirement: the scalar
 engine (and therefore the whole tier-1 suite) runs on a bare Python
 toolchain, and hosts without numpy get a clear
 ``ColumnarUnavailableError`` naming this extra only when the columnar
 kernel is actually selected (see ``repro.uarch.engine.columnar``) —
-never an ``ImportError`` at callsite depth.
+never an ``ImportError`` at callsite depth.  That contract is itself
+statically enforced by reprolint's ``optional-deps`` rule
+(``python -m repro.analysis``).
 """
-from setuptools import setup
+from setuptools import find_namespace_packages, setup
 
 setup(
+    # ``repro`` has no __init__.py (namespace package), so the default
+    # find_packages() would discover nothing; enumerate the namespace.
+    packages=find_namespace_packages(where="src", include=["repro", "repro.*"]),
+    package_dir={"": "src"},
+    entry_points={
+        "console_scripts": [
+            # The reprolint CLI: strict over src/, advisory over
+            # benchmarks/ and examples/ (same as python -m repro.analysis).
+            "repro-lint = repro.analysis.cli:main",
+        ],
+    },
     extras_require={
         # The columnar replay kernel (engine="columnar",
         # REPRO_REPLAY_KERNEL=columnar) lowers trace windows into numpy

@@ -1,0 +1,40 @@
+"""reprolint — AST-based static enforcement of the repo's contracts.
+
+The framework lives in :mod:`repro.analysis.core` (rules, findings,
+suppressions, file walking), the shipped rules in
+:mod:`repro.analysis.rules`, and the CLI in :mod:`repro.analysis.cli`
+(``python -m repro.analysis`` / the ``repro-lint`` console script).
+``docs/static-analysis.md`` catalogues each rule and the contract it
+encodes.
+
+Suppress an acknowledged finding with ``# repro: allow[rule-id]`` on
+the offending line (or alone on the line above), ideally followed by a
+one-line justification.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    Rule,
+    all_rules,
+    get_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+
+# Importing the rules module registers the shipped rule set.
+from repro.analysis import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,115 @@
+"""Command-line entry point for reprolint.
+
+::
+
+    PYTHONPATH=src python -m repro.analysis [paths ...] \\
+        [--advisory PATH ...] [--select RULE[,RULE]] [--list-rules]
+
+Positional paths are linted **strictly**: any finding fails the run
+(exit 1) — this is the mode the tier-1 gate (``tests/test_analysis.py``)
+runs over ``src/``.  ``--advisory`` paths are linted in **advisory**
+mode: findings are printed and summarised per rule but never affect the
+exit code, so drift in scratch trees is visible without blocking.
+
+With no positional paths the CLI lints ``src/`` strictly and, when they
+exist, ``benchmarks/`` and ``examples/`` in advisory mode — the
+one-command repo health check.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.core import LintResult, all_rules, get_rules, lint_paths
+
+#: Trees swept in advisory mode by a bare ``python -m repro.analysis``.
+DEFAULT_ADVISORY_TREES = ("benchmarks", "examples")
+
+
+def _print_result(result: LintResult, label: str, advisory: bool) -> None:
+    prefix = "advisory: " if advisory else ""
+    for finding in result.findings:
+        print(f"{prefix}{finding}")
+    summary = (
+        f"{label}: {len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, {result.files} file(s)"
+    )
+    if advisory and result.findings:
+        per_rule = ", ".join(
+            f"{rule_id}={count}" for rule_id, count in sorted(result.by_rule().items())
+        )
+        summary += f" [{per_rule}] (advisory — not failing the run)"
+    print(summary)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repo's determinism, "
+        "atomic-IO and fingerprint-purity contracts",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/trees linted strictly (default: src/, plus "
+        "benchmarks/ and examples/ in advisory mode when present)",
+    )
+    parser.add_argument(
+        "--advisory",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="additionally lint PATH in advisory (non-failing, summarised) "
+        "mode; repeatable",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (id and the contract it encodes) "
+        "and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.contract}")
+        return 0
+
+    try:
+        rules = get_rules(args.select.split(",")) if args.select else None
+    except ValueError as error:
+        parser.error(str(error))
+
+    strict_paths = list(args.paths)
+    advisory_paths = list(args.advisory or ())
+    if not strict_paths:
+        if Path("src").is_dir():
+            strict_paths = ["src"]
+        else:
+            strict_paths = ["."]
+        if args.advisory is None:
+            advisory_paths = [
+                tree for tree in DEFAULT_ADVISORY_TREES if Path(tree).is_dir()
+            ]
+
+    missing = [p for p in strict_paths + advisory_paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    strict_result = lint_paths(strict_paths, rules)
+    _print_result(strict_result, "strict", advisory=False)
+    for tree in advisory_paths:
+        _print_result(lint_paths([tree], rules), f"advisory {tree}", advisory=True)
+    return 1 if strict_result.findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

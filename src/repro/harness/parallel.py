@@ -92,6 +92,7 @@ Semantics:
 from __future__ import annotations
 
 import os
+import subprocess
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -511,7 +512,7 @@ class ParallelSuiteRunner(SuiteRunner):
             for proc in procs:
                 try:
                     proc.wait(timeout=10)
-                except Exception:  # pragma: no cover - stuck worker
+                except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
                     proc.kill()
         payloads = []
         for job, fingerprint in zip(jobs, fingerprints):

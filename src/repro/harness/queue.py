@@ -318,6 +318,10 @@ class WorkQueue:
             if kind not in ("simulation", "shard"):
                 raise ValueError(f"unknown queue job kind {kind!r}")
             job = pickle.loads(base64.b64decode(envelope["job"]))
+        # Unpickling a foreign envelope can raise arbitrary types; any decode
+        # failure must poison the file, never crash the worker and wedge the
+        # queue.
+        # repro: allow[exception-hygiene] unbounded unpickle surface
         except Exception:
             try:
                 os.replace(lease, self.poison_dir / lease.name)
@@ -598,6 +602,10 @@ def _execute_and_complete(
     """
     try:
         payload = execute_queue_job(claimed)
+    # Job execution runs arbitrary simulation code; the contract is an error
+    # marker for *any* failure so the driver surfaces it instead of waiting
+    # forever.
+    # repro: allow[exception-hygiene] unbounded job-code surface
     except Exception:
         queue.complete(claimed, None, worker_id, error=traceback.format_exc())
         return False
@@ -781,7 +789,7 @@ class QueueWorker:
             gc_cache_tree(self.queue.cache_dir)
             self.gc_sweeps += 1
             self._publish_stats()
-        except Exception:  # pragma: no cover - hostile shared directory
+        except OSError:  # pragma: no cover - hostile shared directory
             pass
         self._next_gc = now + self.gc_interval * random.uniform(
             1.0, 1.0 + self.GC_JITTER
