@@ -13,13 +13,24 @@ Each run appends a ``"kind": "queue_grid"`` entry to
 ``BENCH_trace.json`` next to the per-cycle throughput history, so later
 PRs can track the backend's overhead trajectory alongside the hot
 path's.
+
+The run is parametrised over the chaoskit injection state.  Only
+``"disabled"`` is measured: the fault hooks ship on every filesystem
+touchpoint of this path (atomicio publications, queue listings,
+heartbeats), and their no-op contract — one ``is None`` test while no
+injector is installed — is exactly what this floor guards.  An
+injection-enabled grid is a correctness soak (``tests/test_faults.py``),
+not a benchmark.
 """
 
 from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.harness import ParallelSuiteRunner, RunConfig
+from repro.harness.faults import active_injector
 
 from test_perf_simulator import _record_trajectory
 
@@ -32,7 +43,11 @@ TECHNIQUES = ("baseline", "abella", "noop")
 QUEUE_WORKERS = 2
 
 
-def test_queue_grid_wall_clock(benchmark, tmp_path):
+@pytest.mark.parametrize("injection", ["disabled"])
+def test_queue_grid_wall_clock(benchmark, tmp_path, injection):
+    # The hooks must be dormant: the floor below is only meaningful as a
+    # zero-overhead guarantee if nothing is injecting during the run.
+    assert active_injector() is None, "fault injector active in a perf run"
     def _queue_run() -> float:
         runner = ParallelSuiteRunner(
             GRID_CONFIG,
@@ -61,6 +76,7 @@ def test_queue_grid_wall_clock(benchmark, tmp_path):
     cells = len(GRID_CONFIG.benchmarks) * len(TECHNIQUES)
     benchmark.extra_info["cells"] = cells
     benchmark.extra_info["queue_workers"] = QUEUE_WORKERS
+    benchmark.extra_info["injection"] = injection
     benchmark.extra_info["queue_seconds"] = round(queue_elapsed, 2)
     benchmark.extra_info["local_seconds"] = round(local_elapsed, 2)
     _record_trajectory(
@@ -70,6 +86,7 @@ def test_queue_grid_wall_clock(benchmark, tmp_path):
             "cells": cells,
             "max_instructions": GRID_CONFIG.max_instructions,
             "queue_workers": QUEUE_WORKERS,
+            "injection": injection,
             "queue_seconds": round(queue_elapsed, 2),
             "local_seconds": round(local_elapsed, 2),
         }

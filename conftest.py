@@ -70,6 +70,22 @@ def pytest_addoption(parser) -> None:
         "scalar); statistics are bit-identical between kernels",
     )
 
+    parser.addoption(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="run the whole session under a chaoskit fault plan: a preset "
+        "name (light, heavy) or a spec like "
+        "'seed=3,rate=0.2,fire_limit=1,sleep_scale=0.1' "
+        "(see repro.harness.faults.FaultPlan.from_spec).  Installs the "
+        "deterministic injector in-process and exports REPRO_FAULT_PLAN "
+        "so spawned queue workers inherit the same schedule.  Simulation "
+        "results stay bit-identical under chaos (the gate in "
+        "tests/test_faults.py), but visibility-sensitive unit tests may "
+        "legitimately diverge — see docs/fault-model.md for scoping "
+        "plans with sites=",
+    )
+
 
 def pytest_configure(config) -> None:
     engine = config.getoption("--engine")
@@ -78,6 +94,15 @@ def pytest_configure(config) -> None:
         # never sees pytest — library-default simulate() calls, process
         # pools, and the queue worker subprocesses tests spawn.
         os.environ["REPRO_REPLAY_KERNEL"] = engine
+    fault_spec = config.getoption("--faults")
+    if fault_spec:
+        # Same environment-not-fixture reasoning as --engine: worker
+        # subprocesses self-install from REPRO_FAULT_PLAN at startup.
+        from repro.harness.faults import FaultInjector, FaultPlan, install
+
+        plan = FaultPlan.from_spec(fault_spec)
+        os.environ["REPRO_FAULT_PLAN"] = plan.to_spec()
+        install(FaultInjector(plan))
 
 
 @pytest.fixture(scope="session")

@@ -559,3 +559,79 @@ class OptionalDependencyRule(Rule):
                 if isinstance(name, ast.Name) and name.id in self.GUARD_EXCEPTIONS:
                     return True
         return False
+
+
+# ----------------------------------------------------------------------
+# 7. retry-discipline — waiting is centralised, injection stays out of
+#    the replay core
+# ----------------------------------------------------------------------
+@register_rule
+class RetryDisciplineRule(Rule):
+    """All sleeping goes through chaoskit; no fault hooks under uarch.
+
+    Two halves of one contract.  First, ``time.sleep`` anywhere outside
+    :mod:`repro.harness.faults` is an ad-hoc wait: it cannot be
+    compressed by a chaos plan's ``sleep_scale``, cannot be seeded, and
+    hides backoff policy at the call site — route it through
+    ``faults.sleep`` or a ``RetryPolicy``, which that module owns.
+    Second, the replay kernels must be bit-identical with and without an
+    installed fault plan, so ``repro/uarch/`` may not import the fault
+    machinery at all — trace-store faults are exercised through the
+    :mod:`repro.atomicio` hooks below the uarch layer instead.
+    """
+
+    rule_id = "retry-discipline"
+    contract = (
+        "time.sleep only inside repro/harness/faults.py (faults.sleep / "
+        "RetryPolicy own all waiting); repro/uarch/ never imports the "
+        "fault-injection machinery"
+    )
+
+    #: The single module allowed to call ``time.sleep`` — the seam every
+    #: other wait routes through.
+    SLEEP_OWNER = "repro/harness/faults.py"
+
+    def check(self, tree: ast.AST, path: str) -> Iterable[Finding]:
+        in_uarch = "repro/uarch/" in path
+        owner = path.endswith(self.SLEEP_OWNER)
+        for node in ast.walk(tree):
+            if (
+                not owner
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sleep"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                yield self.finding(
+                    node,
+                    path,
+                    "ad-hoc time.sleep; waiting must be centralised and "
+                    "chaos-scalable — use repro.harness.faults.sleep (or a "
+                    "RetryPolicy) instead",
+                )
+            elif not owner and isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "time" and any(
+                    alias.name == "sleep" for alias in node.names
+                ):
+                    yield self.finding(
+                        node,
+                        path,
+                        "importing sleep from time sidesteps the centralised "
+                        "wait seam; use repro.harness.faults.sleep instead",
+                    )
+            if in_uarch and isinstance(node, (ast.Import, ast.ImportFrom)):
+                # import repro.harness.faults / from repro.harness import
+                # faults / from repro.harness.faults import ... all count.
+                module_names = [alias.name for alias in node.names]
+                if isinstance(node, ast.ImportFrom):
+                    module_names.append(node.module or "")
+                if any("faults" in name.split(".") for name in module_names):
+                    yield self.finding(
+                        node,
+                        path,
+                        "fault-injection machinery imported into the replay "
+                        "core; uarch statistics must be bit-identical with "
+                        "and without a fault plan, so hooks stop at the "
+                        "harness/atomicio layers",
+                    )

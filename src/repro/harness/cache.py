@@ -24,6 +24,17 @@ changes).
 Entries are written atomically (temp file + ``os.replace``) so concurrent
 workers and concurrent processes can share one cache directory safely.
 
+Degradation policy (chaoskit): the cache is an accelerator, never a
+single point of failure.  A corrupt entry (truncated file, foreign
+payload, bad counter mapping) is **quarantined** — moved aside to
+``quarantine/<fingerprint>.json`` where it stays visible for post-mortem
+until ``cache gc`` expires it on the consumed-done-marker age bound —
+and the load reports a clean miss.  A store that keeps failing after the
+shared retry policy (read-only directory, disk full) falls back to an
+**in-memory** entry with a warn-once per directory: the process keeps
+its cache semantics for the rest of the run and the next healthy store
+resumes persisting.
+
 The module doubles as the cache-maintenance CLI for shared directories::
 
     PYTHONPATH=src python -m repro.harness.cache gc <cache_dir> \\
@@ -44,11 +55,22 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Optional
 
 from repro.atomicio import TMP_PREFIX, publish_atomically
+from repro.harness import faults
 from repro.uarch.stats import SimulationStats
+
+#: Subdirectory (of a cache directory) holding quarantined corrupt
+#: entries: visible for post-mortem, swept by ``cache gc`` on the same
+#: age bound as consumed queue completion markers.
+QUARANTINE_DIR_NAME = "quarantine"
+
+#: Directories that have already warned about degraded (in-memory)
+#: operation this process; one warning per directory, not per store.
+_DEGRADED_WARNED: set[str] = set()
 
 #: Bump when the stored payload layout changes so old entries stop
 #: matching.  Simulation-semantics changes are covered automatically by
@@ -164,6 +186,9 @@ class ResultCache:
         max_entries: size cap (None means unbounded, the default).
         hits / misses / stores / evictions: counters for tests and the
             ``--cache-stats`` report.
+        quarantined / memory_stores: degradation counters — corrupt
+            entries moved aside, and stores that fell back to process
+            memory because the directory stopped accepting writes.
     """
 
     def __init__(
@@ -177,10 +202,37 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.quarantined = 0
+        self.memory_stores = 0
+        # Degraded-mode fallback: entries that could not be persisted
+        # (read-only or full directory) live here for this process's
+        # lifetime so cache semantics survive the outage.
+        self._memory: dict[str, SimulationStats] = {}
 
     def path_for(self, fingerprint: str) -> Path:
         """Cache file holding the cell identified by ``fingerprint``."""
         return self.directory / f"{fingerprint}.json"
+
+    def quarantine_path(self, fingerprint: str) -> Path:
+        """Where a corrupt cell is set aside for post-mortem."""
+        return self.directory / QUARANTINE_DIR_NAME / f"{fingerprint}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside — visible, gc-swept, never reloaded.
+
+        Without this, a corrupt cell would be re-read and re-missed on
+        every lookup forever (the fingerprint keeps addressing the same
+        bad file); moving it aside makes the next store land cleanly and
+        leaves the evidence where ``cache gc`` reports and eventually
+        expires it.
+        """
+        target = self.directory / QUARANTINE_DIR_NAME / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - hostile or raced directory
+            pass
 
     def load(self, fingerprint: str) -> Optional[SimulationStats]:
         """Return the cached stats for ``fingerprint``, or None on a miss.
@@ -188,12 +240,19 @@ class ResultCache:
         A malformed payload — valid JSON missing the ``"stats"`` key or
         the ``"format"`` marker every store writes (a foreign or
         truncated-then-rewritten file sharing the directory), or a
-        ``"stats"`` value that isn't a counter mapping — counts as a
-        miss and forces a clean re-simulation, exactly like a missing or
-        unparsable file.  Corruption must never crash a run.
+        ``"stats"`` value that isn't a counter mapping — is quarantined
+        and counts as a miss, forcing a clean re-simulation.  A read
+        error (EIO, permissions) is a plain miss: the file may be fine
+        and the fault transient, so it is left in place.  Corruption
+        must never crash a run.
         """
+        memory = self._memory.get(fingerprint)
+        if memory is not None:
+            self.hits += 1
+            return memory
         path = self.path_for(fingerprint)
         try:
+            faults.maybe_fire("cache.load", fingerprint)
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             if payload.get("format") != CACHE_FORMAT_VERSION:
@@ -202,14 +261,23 @@ class ResultCache:
             if not isinstance(counters, dict):
                 raise ValueError("stats payload is not a counter mapping")
             stats = stats_from_dict(counters)
+        except (FileNotFoundError, OSError):
+            # Missing file or a read error (EIO, permissions, an
+            # injected cache.load fault): the file may be absent or
+            # merely unreadable right now — plain miss, leave it alone.
+            self.misses += 1
+            return None
         except (
-            FileNotFoundError,
             json.JSONDecodeError,
+            UnicodeDecodeError,
             KeyError,
             TypeError,
             ValueError,
             AttributeError,
         ):
+            # These only arise for a file that *was* read successfully,
+            # i.e. genuine corruption or a foreign payload: set it aside.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -226,17 +294,44 @@ class ResultCache:
         benchmark: str = "",
         technique: str = "",
     ) -> Path:
-        """Atomically persist ``stats`` under ``fingerprint``."""
+        """Persist ``stats`` under ``fingerprint``; degrade, never fail.
+
+        The atomic write is retried under the shared policy; when the
+        directory stays unwritable (read-only remount, disk full) the
+        entry is kept in process memory instead, with one warning per
+        directory — a broken cache must cost performance, not the run.
+        """
         payload = {
             "format": CACHE_FORMAT_VERSION,
             "benchmark": benchmark,
             "technique": technique,
             "stats": stats_to_dict(stats),
         }
-        path = publish_atomically(
-            self.path_for(fingerprint),
-            lambda handle: json.dump(payload, handle, sort_keys=True),
-        )
+        path = self.path_for(fingerprint)
+        try:
+            faults.DEFAULT_RETRY_POLICY.call(
+                lambda: publish_atomically(
+                    path,
+                    lambda handle: json.dump(payload, handle, sort_keys=True),
+                ),
+                key=f"cache-store/{fingerprint}",
+            )
+        except OSError as error:
+            self._memory[fingerprint] = stats
+            self.memory_stores += 1
+            directory_key = str(self.directory)
+            if directory_key not in _DEGRADED_WARNED:
+                _DEGRADED_WARNED.add(directory_key)
+                warnings.warn(
+                    f"result cache {directory_key} is not accepting writes "
+                    f"({error}); falling back to in-memory caching for this "
+                    f"process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self.stores += 1
+            return path
+        self._memory.pop(fingerprint, None)
         self.stores += 1
         if self.max_entries is not None:
             self._prune()
@@ -290,6 +385,8 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "memory_stores": self.memory_stores,
         }
 
     def __len__(self) -> int:
@@ -422,7 +519,10 @@ def gc_cache_tree(
     ``queue/done`` are swept once older than
     ``done_marker_max_age_seconds`` (pass None to keep them all), since
     every driver folds its markers within one run and stale ones only
-    duplicate what the result cache already stores.
+    duplicate what the result cache already stores.  Quarantined corrupt
+    entries (``quarantine/`` and ``traces/quarantine/``) expire on the
+    same age bound: long enough to post-mortem, bounded so one bad disk
+    episode cannot grow the tree forever.
     """
     cache_dir = Path(cache_dir)
     summaries = [
@@ -442,6 +542,20 @@ def gc_cache_tree(
             now=now,
         ),
     ]
+    for quarantine_dir, pattern in (
+        (cache_dir / QUARANTINE_DIR_NAME, "*.json"),
+        (cache_dir / "traces" / QUARANTINE_DIR_NAME, "*.trace.bin"),
+    ):
+        if quarantine_dir.is_dir():
+            summaries.append(
+                collect_garbage(
+                    quarantine_dir,
+                    pattern,
+                    entry_max_age_seconds=done_marker_max_age_seconds,
+                    tmp_max_age_seconds=tmp_max_age_seconds,
+                    now=now,
+                )
+            )
     for sub in ("pending", "leases", "done", "poison", "workers"):
         queue_dir = cache_dir / "queue" / sub
         if queue_dir.is_dir():

@@ -100,6 +100,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.core import compile_program
+from repro.harness import faults
 from repro.harness.cache import ResultCache, simulation_fingerprint, stats_from_dict, stats_to_dict
 from repro.harness.experiment import (
     BenchmarkResult,
@@ -138,6 +139,10 @@ class SimulationJob:
     trace_window: Optional[int] = None
     trace_cache_max_bytes: Optional[int] = None
     engine: Optional[str] = None
+    # Queue-backend retry budget (None: the queue's default).  Like the
+    # transport fields above it never participates in fingerprint():
+    # how often a job may be retried doesn't change what it computes.
+    max_attempts: Optional[int] = None
 
     def fingerprint(self) -> str:
         """Content hash of the job's full input set (see :mod:`.cache`)."""
@@ -249,6 +254,7 @@ class ParallelSuiteRunner(SuiteRunner):
         queue_poll: float = 0.2,
         queue_assist: bool = True,
         queue_timeout: Optional[float] = 600.0,
+        queue_max_attempts: Optional[int] = None,
         shard_span_windows: Optional[int] = None,
         shard_overlap: Union[str, int] = "full",
         shard_slack: Optional[int] = None,
@@ -276,7 +282,10 @@ class ParallelSuiteRunner(SuiteRunner):
             )
         if queue_workers < 0:
             raise ValueError("queue_workers must be a non-negative integer")
+        if queue_max_attempts is not None and queue_max_attempts < 1:
+            raise ValueError("queue_max_attempts must be a positive integer or None")
         self.workers = workers
+        self.queue_max_attempts = queue_max_attempts
         self.backend = backend
         self.queue_workers = queue_workers
         self.queue_ttl = queue_ttl
@@ -327,6 +336,7 @@ class ParallelSuiteRunner(SuiteRunner):
             trace_window=self.trace_window,
             trace_cache_max_bytes=self.trace_cache_max_bytes,
             engine=self.engine,
+            max_attempts=self.queue_max_attempts,
         )
 
     def _fold_trace_counters(self, payload: dict) -> None:
@@ -451,6 +461,7 @@ class ParallelSuiteRunner(SuiteRunner):
                         trace_window=self.trace_window,
                         trace_cache_max_bytes=self.trace_cache_max_bytes,
                         engine=self.engine,
+                        max_attempts=self.queue_max_attempts,
                     )
                 )
             groups.append((start, len(spans)))
@@ -532,7 +543,10 @@ class ParallelSuiteRunner(SuiteRunner):
         it re-arms every time a marker arrives, a lease heartbeats, or
         the assist path executes a job, so a large grid served by slow
         but live workers never trips it — only a genuinely wedged queue
-        (nothing pending, nothing beating, nothing arriving) does.
+        (nothing pending, nothing beating, nothing arriving) does.  A
+        job escalated to ``poison/`` (retry budget exhausted, or an
+        undecodable envelope) fails the batch immediately with the
+        recorded reason instead of waiting out the timeout.
         """
         from repro.harness.queue import _default_worker_id, process_claimed_job
 
@@ -552,6 +566,17 @@ class ParallelSuiteRunner(SuiteRunner):
                     progressed = True
             if not remaining:
                 break
+            poisoned = remaining & queue.list_poisoned()
+            if poisoned:
+                fingerprint = sorted(poisoned)[0]
+                record = queue.poison_record(fingerprint) or {}
+                raise RuntimeError(
+                    f"queue job {record.get('benchmark')}/"
+                    f"{record.get('technique')} was poisoned after "
+                    f"{record.get('attempts', '?')} attempt(s) on worker "
+                    f"{record.get('worker')!r}:\n"
+                    f"{record.get('poison_reason', 'unrecorded')}"
+                )
             queue.requeue_expired()
             if self.queue_assist:
                 claimed = queue.claim(worker_id)
@@ -577,7 +602,7 @@ class ParallelSuiteRunner(SuiteRunner):
                         f"awaiting {len(remaining)} job(s); queue status: "
                         f"{queue.status()}"
                     )
-                time.sleep(self.queue_poll)
+                faults.sleep(self.queue_poll)
         return markers
 
     # ------------------------------------------------------------------

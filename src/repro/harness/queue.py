@@ -17,18 +17,23 @@ All queue state lives under ``<cache_dir>/queue/``::
       pending/<fingerprint>.json   jobs waiting for a worker
       leases/<fingerprint>.json    jobs being executed (mtime = heartbeat)
       done/<fingerprint>.json      completion markers (stats + counter deltas)
-      poison/<fingerprint>.json    undecodable job envelopes, set aside
+      poison/<fingerprint>.json    jobs set aside with a recorded reason:
+                                   undecodable envelopes, or jobs that
+                                   exhausted their retry budget
       workers/<worker_id>.json     per-worker claim-batch/gc counters,
                                    republished after every batch so
                                    ``--status`` sees the whole fleet
 
 * **Envelope** — every job file is a one-object JSON envelope:
   ``{"format": 1, "kind": "simulation"|"shard", "fingerprint": ...,
-  "benchmark": ..., "technique": ..., "job": <base64 pickle>}``.  The
-  human-readable fields make the queue greppable; the pickled job is the
-  exact :class:`~repro.harness.parallel.SimulationJob` /
+  "benchmark": ..., "technique": ..., "attempts": 0, "max_attempts": 3,
+  "job": <base64 pickle>}``.  The human-readable fields make the queue
+  greppable; the pickled job is the exact
+  :class:`~repro.harness.parallel.SimulationJob` /
   :class:`~repro.harness.shard.ShardJob` the process pool already
-  ships between processes.
+  ships between processes.  ``attempts`` counts execution failures so
+  far; ``max_attempts`` is the job's retry budget (jobs may carry their
+  own ``max_attempts`` attribute, else :data:`DEFAULT_MAX_ATTEMPTS`).
 * **Enqueue** — write the envelope to a ``.tmp-*`` file and
   ``os.replace`` it into ``pending/`` (the same atomicity discipline as
   ``ResultCache.store``).  Enqueueing is idempotent: a fingerprint that
@@ -58,9 +63,16 @@ All queue state lives under ``<cache_dir>/queue/``::
   payloads for the same fingerprint, and ``os.replace`` makes the last
   writer win without ever exposing a torn file.
 * **Failures** — a job whose execution *raises* (as opposed to a worker
-  dying) writes a marker with an ``"error"`` field instead; the runner
-  surfaces it instead of waiting forever.  An envelope that cannot be
-  decoded is moved to ``poison/`` so it cannot wedge the queue.
+  dying) is **retried**: the worker increments the envelope's
+  ``attempts`` counter and pushes the job back to ``pending/``.  A job
+  that exhausts its ``max_attempts`` budget escalates to ``poison/``
+  with a full record — the exception traceback, a timestamp, the
+  claiming worker id and the attempt count — so ``--status`` can
+  explain *why* instead of the driver wedging.  An envelope that cannot
+  be decoded is poisoned immediately with the decode error recorded the
+  same way.  The driver polls ``poison/`` and surfaces the reason; a
+  fresh driver run consumes the poison record and retries the job from
+  scratch.
 
 Counter exactness: each marker carries the executing worker's
 trace-cache hit/miss/store/eviction deltas for that job, and the runner
@@ -100,12 +112,22 @@ from pathlib import Path
 from typing import Optional
 
 from repro.atomicio import publish_atomically
+from repro.harness import faults
 from repro.harness.cache import ResultCache, stats_from_dict
+from repro.harness.faults import (
+    BEST_EFFORT_RETRY_POLICY,
+    DEFAULT_RETRY_POLICY,
+)
 from repro.harness.parallel import SimulationJob, execute_job
 
 #: Bump when the envelope/marker layout changes; foreign-format files
 #: are poisoned (envelopes) or ignored (markers), never trusted.
 QUEUE_FORMAT_VERSION = 1
+
+#: Retry budget for jobs whose envelope (or job object) doesn't carry
+#: its own ``max_attempts``: total executions allowed before a failing
+#: job escalates to ``poison/`` with its last traceback recorded.
+DEFAULT_MAX_ATTEMPTS = 3
 
 
 def _default_worker_id() -> str:
@@ -122,13 +144,17 @@ def _protocol_names(directory: Path) -> list[str]:
     as empty.
     """
     try:
-        return [
+        names = [
             name
             for name in os.listdir(directory)
             if name.endswith(".json") and not name.startswith(".")
         ]
     except FileNotFoundError:
         return []
+    # Chaos seam (no-op in production): a fault plan may hide entries
+    # from individual listings, simulating NFS attribute-cache lag —
+    # every caller of this predicate must tolerate stale listings.
+    return faults.maybe_filter_names("queue.listing", directory.name, names)
 
 
 def _atomic_write_json(directory: Path, path: Path, payload: dict) -> None:
@@ -186,6 +212,11 @@ class WorkQueue:
         self.claimed = 0
         self.completed = 0
         self.requeued = 0
+        # Failure-path traffic: jobs pushed back to pending after a
+        # raised execution (retried) and jobs escalated to poison/
+        # after exhausting their budget or failing to decode.
+        self.retried = 0
+        self.poisoned = 0
         # Directory listings that yielded at least one lease: together
         # with ``claimed`` this gives the realised claim batch size
         # (the per-job filesystem round-trip saving of batched claims).
@@ -203,6 +234,9 @@ class WorkQueue:
     def done_path(self, fingerprint: str) -> Path:
         return self.done_dir / f"{fingerprint}.json"
 
+    def poison_path(self, fingerprint: str) -> Path:
+        return self.poison_dir / f"{fingerprint}.json"
+
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
@@ -213,11 +247,12 @@ class WorkQueue:
         :class:`SimulationJob` and :class:`~repro.harness.shard.ShardJob`
         do).  A fingerprint that is already pending, leased or
         successfully completed is left untouched, so re-running a driver
-        against a half-served queue never duplicates work.  A marker
-        recording an *error* is retryable, not terminal: it is consumed
-        here (deleted) and the job queued afresh — otherwise one
-        transient worker failure (disk full, OOM) would poison its
-        fingerprint forever.
+        against a half-served queue never duplicates work.  Failure
+        residue is retryable, not terminal: an error marker or a poison
+        record for the fingerprint is consumed here (deleted) and the
+        job queued afresh with a fresh ``attempts`` counter — otherwise
+        one bad spell (disk full, OOM, a since-fixed bug) would poison
+        its fingerprint forever.
         """
         if kind is None:
             kind = "simulation" if isinstance(job, SimulationJob) else "shard"
@@ -230,20 +265,33 @@ class WorkQueue:
                 os.unlink(self.done_path(fingerprint))
             except OSError:  # pragma: no cover - concurrent retry
                 pass
+        if self.poison_path(fingerprint).exists():
+            try:
+                os.unlink(self.poison_path(fingerprint))
+            except OSError:  # pragma: no cover - concurrent retry
+                pass
         if (
             self.lease_path(fingerprint).exists()
             or self.pending_path(fingerprint).exists()
         ):
             return fingerprint
+        max_attempts = getattr(job, "max_attempts", None) or DEFAULT_MAX_ATTEMPTS
         envelope = {
             "format": QUEUE_FORMAT_VERSION,
             "kind": kind,
             "fingerprint": fingerprint,
             "benchmark": getattr(job, "benchmark", ""),
             "technique": getattr(job, "technique", ""),
+            "attempts": 0,
+            "max_attempts": int(max_attempts),
             "job": base64.b64encode(pickle.dumps(job)).decode("ascii"),
         }
-        _atomic_write_json(self.pending_dir, self.pending_path(fingerprint), envelope)
+        DEFAULT_RETRY_POLICY.call(
+            lambda: _atomic_write_json(
+                self.pending_dir, self.pending_path(fingerprint), envelope
+            ),
+            key=f"enqueue/{fingerprint}",
+        )
         self.enqueued += 1
         return fingerprint
 
@@ -322,19 +370,26 @@ class WorkQueue:
         # failure must poison the file, never crash the worker and wedge the
         # queue.
         # repro: allow[exception-hygiene] unbounded unpickle surface
-        except Exception:
-            try:
-                os.replace(lease, self.poison_dir / lease.name)
-            except OSError:
-                pass
+        except Exception as error:
+            self._poison_lease(
+                lease,
+                reason=f"undecodable envelope: {error!r}",
+                worker_id=worker_id,
+            )
             return None
         # Stamp the winner's identity (observability) and refresh the
         # heartbeat; the utime right after the winning rename keeps the
         # lease fresh through this decode, so only an executing worker
-        # that later stops heartbeating can lose it.
+        # that later stops heartbeating can lose it.  Best-effort with a
+        # drop fallback: losing the stamp costs observability only — the
+        # in-memory envelope still carries it for the marker.
         envelope["worker"] = worker_id
         envelope["leased_at"] = time.time()
-        _atomic_write_json(self.leases_dir, lease, envelope)
+        BEST_EFFORT_RETRY_POLICY.call(
+            lambda: _atomic_write_json(self.leases_dir, lease, envelope),
+            key=f"lease-stamp/{fingerprint}",
+            on_exhausted="drop",
+        )
         return ClaimedJob(
             fingerprint=fingerprint,
             kind=kind,
@@ -343,8 +398,65 @@ class WorkQueue:
             lease_path=lease,
         )
 
+    def _poison_lease(
+        self,
+        lease: Path,
+        reason: str,
+        worker_id: str,
+        envelope: Optional[dict] = None,
+    ) -> None:
+        """Move a held lease to ``poison/`` with the reason recorded.
+
+        The record keeps what it can of the original envelope (raw text
+        when it never decoded) plus the why/who/when that lets
+        ``--status`` explain the poisoning.  Publication is retried;
+        when even that fails the lease is moved verbatim — an
+        unexplained poison file still beats a wedged queue.
+        """
+        record = {
+            "format": QUEUE_FORMAT_VERSION,
+            "fingerprint": lease.name[: -len(".json")],
+            "poison_reason": reason,
+            "worker": worker_id,
+            "poisoned_at": time.time(),
+        }
+        if envelope is not None:
+            for field in ("kind", "benchmark", "technique", "attempts", "max_attempts"):
+                if field in envelope:
+                    record[field] = envelope[field]
+        else:
+            try:
+                record["raw"] = lease.read_text(encoding="utf-8", errors="replace")
+            except OSError:  # pragma: no cover - lease raced away
+                pass
+        try:
+            DEFAULT_RETRY_POLICY.call(
+                lambda: _atomic_write_json(
+                    self.poison_dir, self.poison_dir / lease.name, record
+                ),
+                key=f"poison/{lease.name}",
+            )
+        except OSError:
+            try:
+                os.replace(lease, self.poison_dir / lease.name)
+            except OSError:
+                pass
+            else:
+                self.poisoned += 1
+            return
+        try:
+            os.unlink(lease)
+        except OSError:  # pragma: no cover - lease raced away
+            pass
+        self.poisoned += 1
+
     def heartbeat(self, claimed: ClaimedJob) -> bool:
         """Refresh the lease's liveness; False when the lease was lost."""
+        # Chaos seam (no-op in production): a stalled heartbeat skips
+        # the utime but reports success — exactly what a worker wedged
+        # in an NFS write looks like to the rest of the fleet.
+        if faults.maybe_stall("queue.heartbeat", claimed.fingerprint):
+            return True
         try:
             os.utime(claimed.lease_path)
             return True
@@ -357,6 +469,42 @@ class WorkQueue:
             os.rename(claimed.lease_path, self.pending_dir / claimed.lease_path.name)
         except OSError:
             pass
+
+    def fail(self, claimed: ClaimedJob, error: str, worker_id: str = "") -> bool:
+        """Record a raised execution: retry the job or escalate to poison.
+
+        While ``attempts`` (executions that raised) is below the
+        envelope's ``max_attempts`` budget the job goes back to
+        ``pending/`` with the counter incremented — the rewrite lands on
+        the *held lease* first and the atomic rename then makes exactly
+        one mover win, so a concurrent TTL sweeper can never resurrect a
+        stale copy.  At budget the job escalates to ``poison/`` with the
+        final traceback, worker id and timestamp recorded.  Returns True
+        when the job was re-queued for another try.
+        """
+        envelope = dict(claimed.envelope)
+        attempts = int(envelope.get("attempts", 0)) + 1
+        budget = int(envelope.get("max_attempts", 0)) or DEFAULT_MAX_ATTEMPTS
+        envelope["attempts"] = attempts
+        envelope["last_error"] = error
+        if attempts >= budget:
+            self._poison_lease(
+                claimed.lease_path,
+                reason=error,
+                worker_id=worker_id,
+                envelope=envelope,
+            )
+            return False
+        BEST_EFFORT_RETRY_POLICY.call(
+            lambda: _atomic_write_json(
+                self.leases_dir, claimed.lease_path, envelope
+            ),
+            key=f"fail/{claimed.fingerprint}",
+            on_exhausted="drop",
+        )
+        self.release(claimed)
+        self.retried += 1
+        return True
 
     def complete(
         self,
@@ -382,7 +530,16 @@ class WorkQueue:
         }
         if error is not None:
             marker["error"] = error
-        _atomic_write_json(self.done_dir, self.done_path(claimed.fingerprint), marker)
+        # The marker is the driver's only completion signal: retried
+        # under the shared policy so a transient ENOSPC/EIO (or an
+        # injected crash-after-replace, which re-publishes
+        # idempotently) never turns finished work into a lost job.
+        DEFAULT_RETRY_POLICY.call(
+            lambda: _atomic_write_json(
+                self.done_dir, self.done_path(claimed.fingerprint), marker
+            ),
+            key=f"complete/{claimed.fingerprint}",
+        )
         self.completed += 1
         try:
             os.unlink(claimed.lease_path)
@@ -399,7 +556,10 @@ class WorkQueue:
         job must run again) or to one that already finished (drop the
         lease).  The rename back to ``pending/`` is atomic, so when many
         processes sweep concurrently each expired lease is requeued
-        exactly once.
+        exactly once.  TTL re-leases do *not* consume the job's
+        ``attempts`` budget — slow is not failed, and a rewrite here
+        would race the one-winner rename; only executions that raise
+        count against ``max_attempts``.
         """
         now = time.time() if now is None else now
         requeued: list[str] = []
@@ -456,6 +616,33 @@ class WorkQueue:
             youngest = age if youngest is None else min(youngest, age)
         return youngest
 
+    def poison_record(self, fingerprint: str) -> Optional[dict]:
+        """The poison record for ``fingerprint``, or None.
+
+        A legacy or truncated poison file (one moved verbatim because
+        even the record publication failed) reads as a minimal record
+        rather than None — the *existence* of the file is the signal;
+        the recorded reason is best-effort observability on top.
+        """
+        path = self.poison_path(fingerprint)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            if path.exists():
+                return {"fingerprint": fingerprint, "poison_reason": "unrecorded"}
+            return None
+        except OSError:
+            return None
+        if not isinstance(record, dict) or "poison_reason" not in record:
+            return {"fingerprint": fingerprint, "poison_reason": "unrecorded"}
+        return record
+
+    def list_poisoned(self) -> set[str]:
+        """Fingerprints currently set aside in ``poison/``."""
+        return {
+            name[: -len(".json")] for name in _protocol_names(self.poison_dir)
+        }
+
     def done_marker(self, fingerprint: str) -> Optional[dict]:
         """The completion marker for ``fingerprint``, or None.
 
@@ -493,12 +680,28 @@ class WorkQueue:
                 continue
             oldest = age if oldest is None else max(oldest, age)
             youngest = age if youngest is None else min(youngest, age)
+        # Per-job poison explanations: why, who, when — so one --status
+        # query answers "what happened to my job" without grepping the
+        # queue directory by hand.
+        poison: list[dict] = []
+        for fingerprint in sorted(self.list_poisoned()):
+            record = self.poison_record(fingerprint) or {}
+            poison.append(
+                {
+                    "fingerprint": fingerprint,
+                    "reason": str(record.get("poison_reason", "unrecorded")),
+                    "worker": record.get("worker", ""),
+                    "poisoned_at": record.get("poisoned_at"),
+                    "attempts": record.get("attempts"),
+                }
+            )
         return {
             "directory": str(self.root),
             "pending": _count(self.pending_dir),
             "leased": _count(self.leases_dir),
             "done": _count(self.done_dir),
             "poisoned": _count(self.poison_dir),
+            "poison": poison,
             "oldest_lease_age": oldest,
             "youngest_lease_age": youngest,
             "ttl": self.ttl,
@@ -597,26 +800,43 @@ def _execute_and_complete(
     later runs hit the cache without consulting the queue at all; the
     completion marker additionally carries the full payload so the
     driver is immune to cache eviction races.  Returns True on success,
-    False when the job raised (an error marker is published either way,
-    so the driver never hangs).
+    False when the job raised — a raised job is pushed back to
+    ``pending/`` with its ``attempts`` counter bumped, or escalated to
+    ``poison/`` with the traceback once the budget is spent, so the
+    driver either gets a retried success or a recorded reason, never a
+    silent hang.
     """
+    # Chaos seam (no-op outside death-enabled plans): an injected
+    # worker death exits here, mid-job, leaving a heartbeating lease
+    # that goes stale — the TTL re-lease path under test.
+    faults.maybe_die(claimed.fingerprint)
     try:
         payload = execute_queue_job(claimed)
-    # Job execution runs arbitrary simulation code; the contract is an error
-    # marker for *any* failure so the driver surfaces it instead of waiting
-    # forever.
+    # Job execution runs arbitrary simulation code; the contract is
+    # retry-then-poison for *any* failure so the driver surfaces it
+    # instead of waiting forever.
     # repro: allow[exception-hygiene] unbounded job-code surface
     except Exception:
-        queue.complete(claimed, None, worker_id, error=traceback.format_exc())
+        queue.fail(claimed, traceback.format_exc(), worker_id)
         return False
-    if claimed.kind == "simulation":
-        ResultCache(queue.cache_dir).store(
-            claimed.fingerprint,
-            stats_from_dict(payload["stats"]),
-            benchmark=claimed.envelope.get("benchmark", ""),
-            technique=claimed.envelope.get("technique", ""),
-        )
-    queue.complete(claimed, payload, worker_id)
+    try:
+        if claimed.kind == "simulation":
+            ResultCache(queue.cache_dir).store(
+                claimed.fingerprint,
+                stats_from_dict(payload["stats"]),
+                benchmark=claimed.envelope.get("benchmark", ""),
+                technique=claimed.envelope.get("technique", ""),
+            )
+        queue.complete(claimed, payload, worker_id)
+    except OSError:
+        # Even the retried marker publication gave up (persistent
+        # ENOSPC/EIO, or an exceptionally hostile fault plan): treat it
+        # as a failed attempt.  Re-execution is deterministic, so the
+        # retry re-derives the identical payload and publishes it when
+        # the storm passes — and the poison escalation still bounds the
+        # worst case with a recorded reason.
+        queue.fail(claimed, traceback.format_exc(), worker_id)
+        return False
     return True
 
 
@@ -763,14 +983,18 @@ class QueueWorker:
         if safe_id != self.worker_id:
             digest = hashlib.sha256(self.worker_id.encode("utf-8"))
             safe_id = f"{safe_id}-{digest.hexdigest()[:8]}"
-        try:
-            _atomic_write_json(
+        # Drop-after-budget: a stats file is pure observability, so a
+        # persistently hostile shared directory (ENOSPC, EIO, read-only
+        # remount) costs one stale fleet entry, never a dead worker.
+        BEST_EFFORT_RETRY_POLICY.call(
+            lambda: _atomic_write_json(
                 queue.workers_dir,
                 queue.workers_dir / f"{safe_id}.json",
                 payload,
-            )
-        except OSError:  # pragma: no cover - hostile shared directory
-            pass
+            ),
+            key=f"worker-stats/{safe_id}",
+            on_exhausted="drop",
+        )
 
     def _maybe_gc(self, now: float) -> None:
         """Run an idle-time cache gc sweep when the jittered period lapses.
@@ -785,12 +1009,17 @@ class QueueWorker:
             return
         from repro.harness.cache import gc_cache_tree
 
-        try:
+        def _sweep() -> None:
             gc_cache_tree(self.queue.cache_dir)
             self.gc_sweeps += 1
             self._publish_stats()
-        except OSError:  # pragma: no cover - hostile shared directory
-            pass
+
+        # Drop-after-budget: the sweep is opportunistic janitor work —
+        # a directory mid-eviction on another host retries briefly,
+        # then waits for the next jittered period.
+        BEST_EFFORT_RETRY_POLICY.call(
+            _sweep, key=f"gc/{self.worker_id}", on_exhausted="drop"
+        )
         self._next_gc = now + self.gc_interval * random.uniform(
             1.0, 1.0 + self.GC_JITTER
         )
@@ -817,7 +1046,7 @@ class QueueWorker:
                 else:
                     idle_since = None
                 self._maybe_gc(now)
-                time.sleep(self.poll_interval)
+                faults.sleep(self.poll_interval)
                 continue
             idle_since = None
             succeeded, failed = process_claimed_jobs(queue, claims, self.worker_id)
@@ -929,6 +1158,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # A driver running a chaos plan exports REPRO_FAULT_PLAN; spawned
+    # workers self-install here so the whole fleet shares one schedule.
+    faults.install_from_env()
     queue = WorkQueue(args.cache_dir, ttl=args.ttl)
     if args.status:
         print(json.dumps(queue.status(), indent=2))

@@ -185,6 +185,9 @@ class ShardJob:
     # Replay kernel (transport, not identity — engines are bit-identical
     # and never participate in the fingerprint, mirroring SimulationJob).
     engine: Optional[str] = None
+    # Queue-backend retry budget (transport as well, mirroring
+    # SimulationJob.max_attempts; None means the queue's default).
+    max_attempts: Optional[int] = None
 
     def fingerprint(self) -> str:
         span = self.span

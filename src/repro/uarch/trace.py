@@ -63,6 +63,7 @@ import hashlib
 import json
 import os
 import sys
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable, Optional
@@ -83,6 +84,10 @@ TRACE_FORMAT_VERSION = 2
 #: Bytes per stored dynamic instruction: three little-endian ``int64``
 #: columns (pc, next_pc, mem_address) plus one taken byte.
 _ENTRY_BYTES = 25
+
+#: Trace-cache directories that already warned about degraded (store
+#: publication failing) operation this process; one warning each.
+_DEGRADED_STORE_WARNED: set[str] = set()
 
 # Per-instruction classification flags (one byte per dynamic instruction).
 F_HINT = 1
@@ -394,7 +399,16 @@ class TraceCache:
     Any malformation — a missing or stale-format header, an inconsistent
     window table, a truncated payload, a pc that doesn't resolve in the
     program — is a clean miss: the trace is re-emulated and re-stored,
-    never partially trusted.
+    never partially trusted.  A *corrupt* file (one that was read
+    successfully but failed validation) is additionally moved aside to
+    ``quarantine/`` inside the cache directory — visible for
+    post-mortem, swept by ``cache gc`` on the consumed-marker age bound,
+    and out of the way so the re-store lands cleanly; a file that merely
+    failed to *read* (EIO, permissions) is left in place, since it may
+    be intact and the fault transient.  A store whose publication fails
+    (read-only or full directory) degrades to a counted no-op with one
+    warning per directory: traces are pure acceleration, so losing the
+    persistence must never fail the simulation that produced them.
 
     Writes are atomic (temp file + ``os.replace``), making one directory
     safe to share between concurrent workers — the same discipline as
@@ -422,9 +436,27 @@ class TraceCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.quarantined = 0
+        self.degraded_stores = 0
 
     def path_for(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.trace.bin"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt trace aside — visible, gc-swept, never re-read.
+
+        Mirrors ``ResultCache._quarantine``: without the move the bad
+        file keeps the fingerprint's slot, so the re-emulated trace
+        could never be re-stored past some failure modes and every
+        future lookup would re-parse the corruption.
+        """
+        target = self.directory / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - hostile or raced directory
+            pass
 
     # ------------------------------------------------------------------
     # Reading
@@ -491,14 +523,24 @@ class TraceCache:
             instr_by_pc = _instructions_by_pc(program)
             if not set(columns[0]) <= instr_by_pc.keys():
                 raise ValueError("unresolvable pc in stored trace")
+        except (FileNotFoundError, OSError):
+            # Missing, or unreadable right now: plain miss, leave the
+            # file (if any) alone — it may be intact under a transient
+            # read error.
+            self.misses += 1
+            trace_events["disk_misses"] += 1
+            return None
         except (
-            FileNotFoundError,
-            OSError,
             ValueError,
             KeyError,
             TypeError,
+            UnicodeDecodeError,
             json.JSONDecodeError,
         ):
+            # Validation failures only arise for a file that *was* read:
+            # genuine corruption (or a fingerprint collision) — set it
+            # aside so the re-store lands cleanly.
+            self._quarantine(self.path_for(fingerprint))
             self.misses += 1
             trace_events["disk_misses"] += 1
             return None
@@ -634,6 +676,8 @@ class TraceCache:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "degraded_stores": self.degraded_stores,
         }
 
     def __len__(self) -> int:
@@ -697,9 +741,26 @@ class TraceWindowWriter:
             for blob in self._blobs:
                 handle.write(blob)
 
-        path = publish_atomically(
-            cache.path_for(self._fingerprint), _write, binary=True
-        )
+        path = cache.path_for(self._fingerprint)
+        try:
+            publish_atomically(path, _write, binary=True)
+        except OSError as error:
+            # Traces are pure acceleration: a directory that stopped
+            # accepting writes (read-only remount, disk full, an
+            # injected fault) costs a re-emulation next run, never the
+            # simulation that produced this trace.  Warn once per
+            # directory, count it, and report the intended path.
+            cache.degraded_stores += 1
+            directory_key = str(cache.directory)
+            if directory_key not in _DEGRADED_STORE_WARNED:
+                _DEGRADED_STORE_WARNED.add(directory_key)
+                warnings.warn(
+                    f"trace cache {directory_key} is not accepting writes "
+                    f"({error}); traces will be re-emulated until it recovers",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return path
         cache.stores += 1
         trace_events["disk_stores"] += 1
         cache._prune(protect=path)

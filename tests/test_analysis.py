@@ -55,6 +55,7 @@ def test_registry_ships_at_least_six_rules_with_unique_ids():
         "fingerprint-purity",
         "exception-hygiene",
         "optional-deps",
+        "retry-discipline",
     } <= set(ids)
     for rule in rules:
         assert rule.contract  # --list-rules has something to show
@@ -371,6 +372,69 @@ def test_optional_deps_silent_when_guarded_deferred_or_in_columnar():
         ).findings
         == []
     )
+
+
+# ----------------------------------------------------------------------
+# Rule 7: retry-discipline (sleep ownership + uarch isolation)
+# ----------------------------------------------------------------------
+def test_retry_discipline_fires_on_time_sleep_outside_faults():
+    snippet = """
+    import time
+
+    def poll():
+        time.sleep(0.2)
+    """
+    result = lint_snippet(snippet, "repro/harness/queue.py")
+    assert rule_ids(result.findings) == {"retry-discipline"}
+
+
+def test_retry_discipline_fires_on_from_time_import_sleep():
+    snippet = """
+    from time import sleep
+
+    def poll():
+        sleep(0.2)
+    """
+    result = lint_snippet(snippet, "repro/harness/parallel.py")
+    assert rule_ids(result.findings) == {"retry-discipline"}
+
+
+def test_retry_discipline_silent_in_the_sleep_owner_module():
+    snippet = """
+    import time
+
+    def sleep(seconds):
+        time.sleep(seconds)
+    """
+    assert lint_snippet(snippet, "repro/harness/faults.py").findings == []
+
+
+def test_retry_discipline_silent_on_monotonic_and_faults_sleep():
+    snippet = """
+    import time
+
+    from repro.harness import faults
+
+    def wait(deadline):
+        while time.monotonic() < deadline:
+            faults.sleep(0.1)
+    """
+    assert lint_snippet(snippet, "repro/harness/parallel.py").findings == []
+
+
+def test_retry_discipline_fires_on_faults_import_under_uarch():
+    for line in (
+        "from repro.harness import faults\n",
+        "from repro.harness.faults import RetryPolicy\n",
+        "import repro.harness.faults\n",
+    ):
+        result = lint_snippet(line, "repro/uarch/trace.py")
+        assert rule_ids(result.findings) == {"retry-discipline"}, line
+
+
+def test_retry_discipline_faults_import_allowed_outside_uarch():
+    line = "from repro.harness import faults\n"
+    assert lint_snippet(line, "repro/harness/cache.py").findings == []
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,7 @@ import pytest
 
 from repro.harness import ParallelSuiteRunner, RunConfig, SimulationJob
 from repro.harness.queue import (
+    DEFAULT_MAX_ATTEMPTS,
     QueueWorker,
     WorkQueue,
     process_claimed_job,
@@ -204,16 +205,59 @@ class TestCrashRecovery:
         queue.complete(rescued, {"stats": {"cycles": 7}}, "rescuer")
         assert queue.done_marker(fingerprint)["payload"] == {"stats": {"cycles": 7}}
 
-    def test_failing_job_publishes_an_error_marker(self, tmp_path):
+    def test_failing_job_retries_then_poisons_with_reason(self, tmp_path):
         """A job that *raises* (vs. a worker that dies) must not wedge
-        the queue: an error marker is published for the driver to raise."""
+        the queue: it re-enqueues with its attempts counter bumped until
+        the budget is spent, then escalates to poison/ with the final
+        traceback, worker id and timestamp recorded."""
         queue = WorkQueue(tmp_path, ttl=5)
         bad_fp = queue.enqueue(_job(technique="no-such-technique"))
+
+        # Attempts 1..max-1 push the job back to pending with the
+        # counter incremented; nothing is poisoned yet.
+        for attempt in range(1, DEFAULT_MAX_ATTEMPTS):
+            claimed = queue.claim("w1")
+            assert claimed is not None
+            assert claimed.envelope["attempts"] == attempt - 1
+            assert process_claimed_job(queue, claimed, "w1") is False
+            assert queue.pending_path(bad_fp).exists()
+            assert not queue.poison_path(bad_fp).exists()
+        assert queue.retried == DEFAULT_MAX_ATTEMPTS - 1
+
+        # The final attempt exhausts the budget and escalates.
         claimed = queue.claim("w1")
         assert process_claimed_job(queue, claimed, "w1") is False
-        marker = queue.done_marker(bad_fp)
-        assert "error" in marker and "no-such-technique" in marker["error"]
+        assert queue.poison_path(bad_fp).exists()
+        assert not queue.pending_path(bad_fp).exists()
+        assert queue.done_marker(bad_fp) is None
         assert queue.is_idle()
+        assert queue.poisoned == 1
+
+        # The record explains why, who and when.
+        record = queue.poison_record(bad_fp)
+        assert "no-such-technique" in record["poison_reason"]
+        assert record["worker"] == "w1"
+        assert record["attempts"] == DEFAULT_MAX_ATTEMPTS
+        assert record["poisoned_at"] > 0
+        status = queue.status()
+        assert status["poisoned"] == 1
+        [entry] = status["poison"]
+        assert entry["fingerprint"] == bad_fp
+        assert "no-such-technique" in entry["reason"]
+        assert entry["worker"] == "w1"
+
+        # The driver's wait loop surfaces the recorded reason.
+        runner = ParallelSuiteRunner(
+            TINY_CONFIG, workers=1, cache_dir=str(tmp_path), backend="queue"
+        )
+        with pytest.raises(RuntimeError, match="no-such-technique"):
+            runner._await_markers(queue, [bad_fp])
+
+        # Re-enqueueing consumes the poison record and starts afresh.
+        again = queue.enqueue(_job(technique="no-such-technique"))
+        assert again == bad_fp
+        assert queue.pending_path(bad_fp).exists()
+        assert not queue.poison_path(bad_fp).exists()
 
 
 class TestQueueBackendSmoke:
