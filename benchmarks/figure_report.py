@@ -56,6 +56,31 @@ def print_cache_stats(runner) -> None:
             f"{stats['stores']} stores / {stats['evictions']} evictions "
             f"[{stats['directory']}]"
         )
+    if getattr(runner, "backend", "local") == "queue" and runner.cache is not None:
+        # Fleet view for queue-backed runs: every worker publishes a
+        # host-tagged counters file under queue/workers/ after each
+        # claim batch, so the rollup shows which machines actually
+        # swept, claimed, and completed — not just process totals.
+        from repro.harness.queue import WorkQueue
+
+        fleet = WorkQueue(runner.cache.directory).worker_stats()
+        print(
+            f"queue fleet: {fleet['workers']} worker(s) on "
+            f"{len(fleet['hosts'])} host(s) — {fleet['claimed']} claims in "
+            f"{fleet['claim_batches']} batches "
+            f"(mean {fleet['mean_batch_size']}), "
+            f"{fleet['jobs_done']} done / {fleet['jobs_failed']} failed, "
+            f"{fleet['gc_sweeps']} gc sweeps"
+        )
+        for host in sorted(fleet["hosts"]):
+            per_host = fleet["hosts"][host]
+            print(
+                f"  host {host or '<untagged>'}: {per_host['workers']} "
+                f"worker(s) — {per_host['claimed']} claims, "
+                f"{per_host['jobs_done']} done / "
+                f"{per_host['jobs_failed']} failed, "
+                f"{per_host['gc_sweeps']} gc sweeps"
+            )
     events = trace_events
     print(
         f"emulations this process: {events['emulations']} "

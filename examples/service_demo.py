@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Many concurrent clients against one experiment-service daemon.
+
+Demonstrates the simulation-as-a-service front end
+(:mod:`repro.service`): a long-lived daemon owns a shared cache
+directory, accepts simulation/grid requests from any number of clients
+over a newline-delimited-JSON socket protocol, collapses identical
+in-flight requests onto one queued job (every subscriber gets the same
+result), schedules by priority band, and sheds load explicitly when the
+admission bounds are hit.
+
+This script starts the daemon in-process (the same loop ``python -m
+repro.service <cache_dir>`` serves), spawns worker subprocesses to
+execute, then drives it with N threads that all submit *overlapping*
+grids — most cells are shared between clients, so the counters printed
+at the end show the collapse: one enqueue per unique cell, everything
+else answered by subscription or from the cache.  A final low/high
+priority pair and a deliberately over-sized request show band ordering
+and the ``rejected: overload`` path.
+
+Against a real deployment, point :class:`repro.service.ServiceClient`
+at the daemon's host/port instead — the in-process setup here is only
+so the demo is self-contained.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_demo.py
+    PYTHONPATH=src python examples/service_demo.py --clients 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.harness import RunConfig
+from repro.harness.queue import spawn_local_workers
+from repro.service import ServiceClient
+from repro.service.client import ServiceError
+from repro.service.daemon import ExperimentService
+
+BENCHMARKS = ("gzip", "mcf", "parser")
+TECHNIQUES = ("baseline", "abella", "noop")
+CONFIG = {"max_instructions": 4_000, "warmup_instructions": 1_000}
+
+
+def one_client(index: int, host: str, port: int) -> dict:
+    """Submit an overlapping grid: every client shares two benchmarks
+    with every other client and adds one rotating third."""
+    benchmarks = ["gzip", "mcf", BENCHMARKS[index % len(BENCHMARKS)]]
+    events = {"progress": 0}
+
+    def observe(event: dict) -> None:
+        if event["event"] == "progress":
+            events["progress"] += 1
+
+    with ServiceClient(host, port) as client:
+        start = time.perf_counter()
+        cells = client.grid(
+            sorted(set(benchmarks)), TECHNIQUES, config=CONFIG, on_event=observe
+        )
+        elapsed = time.perf_counter() - start
+    return {"index": index, "cells": len(cells), "elapsed": elapsed,
+            "progress": events["progress"]}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--cache-dir",
+        default=str(Path(__file__).parent / ".service-cache"),
+    )
+    args = parser.parse_args()
+
+    service = ExperimentService(
+        args.cache_dir,
+        config=RunConfig(benchmarks=BENCHMARKS),
+        queue_ttl=30,
+    )
+    host, port = service.open()
+    loop = threading.Thread(target=service.serve_forever, daemon=True)
+    loop.start()
+    workers = spawn_local_workers(
+        args.cache_dir, args.workers, ttl=30, poll_interval=0.05
+    )
+    print(f"daemon on {host}:{port}, {args.workers} worker(s) spawned")
+
+    try:
+        with ThreadPoolExecutor(max_workers=args.clients) as pool:
+            reports = list(
+                pool.map(
+                    lambda i: one_client(i, host, port), range(args.clients)
+                )
+            )
+        for report in reports:
+            print(
+                f"  client {report['index']}: {report['cells']} cells in "
+                f"{report['elapsed']:.1f}s ({report['progress']} progress "
+                f"events)"
+            )
+
+        with ServiceClient(host, port) as client:
+            # Priority bands: a batch backfill at band 0 and an urgent
+            # cell at band 9 — workers drain the band-9 envelope first.
+            client.simulate("twolf", "baseline", config=CONFIG, priority=9)
+            # Admission control: blow past the per-client bound on
+            # purpose and show the explicit rejection.
+            try:
+                client.grid(
+                    ["gzip", "mcf", "parser", "twolf", "vortex", "bzip2"],
+                    ["baseline", "abella", "noop"],
+                    config={"max_instructions": 5_000,
+                            "warmup_instructions": 1_000},
+                )
+            except ServiceError as exc:
+                print(f"over-sized request refused: {exc}")
+            status = client.status()
+
+        counters = status["service"]["counters"]
+        total = sum(report["cells"] for report in reports)
+        print(
+            f"\n{args.clients} clients asked for {total} cells; the service "
+            f"enqueued {counters['cells_enqueued']} unique jobs and answered "
+            f"{counters['cells_deduped']} by subscription + "
+            f"{counters['cells_cached']} from cache "
+            f"({counters['requests_accepted']} accepted / "
+            f"{counters['requests_rejected']} rejected)"
+        )
+        print(
+            f"queue: {status['queue']['done']} done, pending by band "
+            f"{status['queue']['pending_by_priority']}"
+        )
+    finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            proc.wait(timeout=10)
+        service.stop()
+        loop.join(timeout=30)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,352 @@
+"""The shared event-driven completion core over the work queue.
+
+Before this module, every consumer of the file-backed work queue waited
+its own way: the driver's ``_await_markers`` slept a fixed interval and
+re-listed ``done/`` each tick, and a service front end would have needed
+yet another loop to multiplex client sockets against the same markers.
+This module is the single replacement: **one selector-based event loop
+per process** that watches completion markers, poison records and lease
+heartbeats for any number of subscribers at once, and — because the
+wait is a real ``selector.select`` — can multiplex socket readiness
+(the experiment service's client connections) into the very same wait.
+
+Two consumers share it:
+
+* :class:`~repro.harness.parallel.ParallelSuiteRunner` (``backend=
+  "queue"``) calls :meth:`QueueEventCore.wait_for_markers`, which
+  subscribes every outstanding fingerprint and runs the loop until all
+  markers arrive — no fixed-interval sleep-poll remains in the driver.
+* the experiment service daemon (:mod:`repro.service.daemon`) registers
+  its listening/client sockets with :meth:`register` and its in-flight
+  fingerprints with :meth:`watch`; one :meth:`step` call both services
+  ready sockets and dispatches completion events to subscriptions.
+
+Event-driven over a directory-backed queue
+------------------------------------------
+
+The queue's only completion signal is a marker file appearing in
+``done/`` — there is no portable filesystem notification over NFS — so
+the core *schedules scans* instead of sleeping between polls: each
+:meth:`step` blocks in ``selector.select`` until either a registered
+socket becomes ready (client traffic, the self-pipe wake) or the next
+scan falls due.  The scan interval is **adaptive**: it collapses to
+``poll_floor`` whenever a scan makes progress (marker arrived, assist
+executed a job, a heartbeat moved) and doubles towards ``poll_ceiling``
+while the queue is quiet, so one process multiplexing thousands of
+outstanding requests pays directory listings proportional to activity,
+not to subscriber count.  Scan work per tick is one ``done/`` listing
+plus one ``leases/`` listing regardless of how many fingerprints are
+watched.
+
+Waiting discipline: the loop never calls ``time.sleep`` — its one wait
+is the selector, whose timeout routes through
+:func:`repro.harness.faults.scale_timeout` so an active chaos plan
+compresses idle ticks exactly like it compresses the workers' poll
+sleeps.  All queue filesystem touchpoints the scan drives
+(listings, marker reads, requeue renames) already run under the
+chaoskit hooks of :mod:`repro.harness.queue`.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.harness import faults
+
+
+@dataclass(frozen=True)
+class CompletionEvent:
+    """One terminal queue event for one watched fingerprint.
+
+    ``kind`` is ``"done"`` (``record`` is the completion marker) or
+    ``"poisoned"`` (``record`` is the poison record, possibly minimal).
+    """
+
+    fingerprint: str
+    kind: str
+    record: dict
+
+
+class QueueEventCore:
+    """Single-selector event loop over one :class:`WorkQueue`.
+
+    Attributes:
+        queue: the watched :class:`~repro.harness.queue.WorkQueue`.
+        poll_floor: scan interval right after a productive scan (s).
+        poll_ceiling: upper bound the idle interval backs off towards.
+        assist: claim and execute one unclaimed job per scan while any
+            watch is outstanding (the driver's pitch-in behaviour; a
+            service daemon that must stay responsive leaves it off and
+            lets worker processes execute).
+        markers_seen / assists_run: this core's traffic counters.
+    """
+
+    def __init__(
+        self,
+        queue,
+        poll_floor: float = 0.05,
+        poll_ceiling: float = 1.0,
+        assist: bool = False,
+        worker_id: Optional[str] = None,
+        stall_timeout: Optional[float] = None,
+    ):
+        if poll_floor <= 0:
+            raise ValueError("poll_floor must be a positive number of seconds")
+        from repro.harness.queue import _default_worker_id
+
+        self.queue = queue
+        self.poll_floor = poll_floor
+        self.poll_ceiling = max(poll_ceiling, poll_floor)
+        self.assist = assist
+        self.worker_id = worker_id or "driver-" + _default_worker_id()
+        self.stall_timeout = stall_timeout
+        self.markers_seen = 0
+        self.assists_run = 0
+        self._watches: dict[str, list[Callable[[CompletionEvent], None]]] = {}
+        self._interval = poll_floor
+        self._next_scan = time.monotonic()  # first step scans immediately
+        self._last_progress = time.monotonic()
+        self._last_beat: Optional[float] = None
+        self._selector = selectors.DefaultSelector()
+        # Self-pipe: guarantees select always has a waitable fd (the
+        # driver registers no sockets) and lets other threads interrupt
+        # an idle wait via wake() — the service's shutdown path.
+        self._wake_recv, self._wake_send = os.pipe()
+        os.set_blocking(self._wake_recv, False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, self._drain_wake)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Socket multiplexing (the service daemon's half)
+    # ------------------------------------------------------------------
+    def register(self, fileobj, events: int, callback) -> None:
+        """Register ``fileobj`` with the loop; ``callback(mask)`` on ready."""
+        self._selector.register(fileobj, events, callback)
+
+    def modify(self, fileobj, events: int, callback) -> None:
+        self._selector.modify(fileobj, events, callback)
+
+    def unregister(self, fileobj) -> None:
+        self._selector.unregister(fileobj)
+
+    def wake(self) -> None:
+        """Interrupt a blocked :meth:`step` from another thread."""
+        try:
+            os.write(self._wake_send, b"\0")
+        except OSError:  # pragma: no cover - closing race
+            pass
+
+    def _drain_wake(self, mask: int) -> None:
+        try:
+            while os.read(self._wake_recv, 4096):
+                pass
+        except BlockingIOError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Completion subscriptions
+    # ------------------------------------------------------------------
+    def watch(
+        self, fingerprint: str, subscriber: Callable[[CompletionEvent], None]
+    ) -> None:
+        """Subscribe ``subscriber`` to ``fingerprint``'s terminal event.
+
+        Many subscribers may watch one fingerprint — that is exactly the
+        dedupe shape of the service front end (N clients, one job).  The
+        subscription is one-shot: it is dropped after the event fires.
+        A fingerprint whose marker already exists fires on the next
+        scan, so subscribing after completion is never a lost wakeup.
+        """
+        self._watches.setdefault(fingerprint, []).append(subscriber)
+        # A fresh watch must not inherit a backed-off idle interval.
+        self._interval = self.poll_floor
+        self._next_scan = min(self._next_scan, time.monotonic())
+
+    def unwatch(self, fingerprint: str, subscriber=None) -> None:
+        """Drop one subscriber (or with None, every subscriber)."""
+        subscribers = self._watches.get(fingerprint)
+        if subscribers is None:
+            return
+        if subscriber is not None and subscriber in subscribers:
+            subscribers.remove(subscriber)
+        elif subscriber is None:
+            subscribers.clear()
+        if not subscribers:
+            self._watches.pop(fingerprint, None)
+
+    def watched(self) -> set[str]:
+        """The fingerprints currently subscribed."""
+        return set(self._watches)
+
+    def subscriber_count(self, fingerprint: Optional[str] = None) -> int:
+        """Subscribers on one fingerprint, or across every watch."""
+        if fingerprint is not None:
+            return len(self._watches.get(fingerprint, ()))
+        return sum(len(subs) for subs in self._watches.values())
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def step(self, max_wait: Optional[float] = None) -> bool:
+        """One iteration: wait for sockets or the scan timer, dispatch.
+
+        Returns True when the iteration made progress (socket activity,
+        marker/poison dispatched, assist executed a job, or a heartbeat
+        advanced) — the signal :meth:`wait_for_markers` feeds its stall
+        clock.  Never raises on behalf of a watched fingerprint; poison
+        records are dispatched as events and judged by the subscriber.
+        """
+        if self._closed:
+            raise RuntimeError("QueueEventCore is closed")
+        now = time.monotonic()
+        timeout = max(0.0, self._next_scan - now)
+        if max_wait is not None:
+            timeout = min(timeout, max(0.0, max_wait))
+        progressed = False
+        ready = self._selector.select(faults.scale_timeout(timeout))
+        for key, mask in ready:
+            if key.fd == self._wake_recv:
+                self._drain_wake(mask)
+            else:
+                key.data(mask)
+                progressed = True
+        if time.monotonic() >= self._next_scan:
+            progressed |= self._scan()
+        if progressed:
+            self._last_progress = time.monotonic()
+        return progressed
+
+    def _scan(self) -> bool:
+        """One marker/heartbeat/assist pass; True when it progressed."""
+        queue = self.queue
+        progressed = False
+        queue.requeue_expired()
+        if self._watches:
+            done = queue.list_done() & set(self._watches)
+            for fingerprint in sorted(done):
+                marker = queue.done_marker(fingerprint)
+                if marker is None:
+                    continue  # torn/foreign marker: wait for a clean one
+                self.markers_seen += 1
+                progressed = True
+                self._dispatch(
+                    CompletionEvent(fingerprint, "done", marker)
+                )
+            poisoned = queue.list_poisoned() & set(self._watches)
+            for fingerprint in sorted(poisoned):
+                record = queue.poison_record(fingerprint) or {
+                    "fingerprint": fingerprint,
+                    "poison_reason": "unrecorded",
+                }
+                progressed = True
+                self._dispatch(
+                    CompletionEvent(fingerprint, "poisoned", record)
+                )
+            if self.assist and self._watches:
+                claimed = queue.claim(self.worker_id)
+                if claimed is not None:
+                    from repro.harness.queue import process_claimed_job
+
+                    process_claimed_job(queue, claimed, self.worker_id)
+                    self.assists_run += 1
+                    progressed = True
+            # A live worker mid-simulation produces no markers for a
+            # while, but its heartbeat moves the youngest-lease age.
+            beat = queue.youngest_lease_age()
+            if beat is not None and (
+                self._last_beat is None or beat < self._last_beat
+            ):
+                progressed = True
+            self._last_beat = beat
+        self._interval = (
+            self.poll_floor
+            if progressed
+            else min(self._interval * 2.0, self.poll_ceiling)
+        )
+        self._next_scan = time.monotonic() + self._interval
+        return progressed
+
+    def _dispatch(self, event: CompletionEvent) -> None:
+        """Fire-and-drop the one-shot subscriptions for ``event``."""
+        subscribers = self._watches.pop(event.fingerprint, [])
+        for subscriber in subscribers:
+            subscriber(event)
+
+    def stalled_for(self) -> float:
+        """Seconds since the loop last made progress."""
+        return time.monotonic() - self._last_progress
+
+    # ------------------------------------------------------------------
+    # The driver's blocking entry point
+    # ------------------------------------------------------------------
+    def wait_for_markers(self, fingerprints: list[str]) -> dict[str, dict]:
+        """Block until every fingerprint resolves; return the markers.
+
+        Semantics match the driver contract the sleep-poll loop used to
+        provide: a poisoned fingerprint raises ``RuntimeError`` with the
+        recorded reason immediately, and ``stall_timeout`` bounds
+        *inactivity* — it re-arms on every marker, heartbeat or assist,
+        so slow-but-live fleets never trip it, only a wedged queue does.
+        """
+        markers: dict[str, dict] = {}
+        poison: list[dict] = []
+
+        def _collect(event: CompletionEvent) -> None:
+            if event.kind == "done":
+                markers[event.fingerprint] = event.record
+            else:
+                poison.append(event.record)
+
+        remaining = set(fingerprints)
+        for fingerprint in remaining:
+            self.watch(fingerprint, _collect)
+        self._last_progress = time.monotonic()
+        while len(markers) < len(remaining):
+            self.step()
+            if poison:
+                record = poison[0]
+                raise RuntimeError(
+                    f"queue job {record.get('benchmark')}/"
+                    f"{record.get('technique')} was poisoned after "
+                    f"{record.get('attempts', '?')} attempt(s) on worker "
+                    f"{record.get('worker')!r}:\n"
+                    f"{record.get('poison_reason', 'unrecorded')}"
+                )
+            if (
+                self.stall_timeout is not None
+                and self.stalled_for() > self.stall_timeout
+            ):
+                outstanding = remaining - set(markers)
+                raise TimeoutError(
+                    f"queue backend stalled for {self.stall_timeout:.0f}s "
+                    f"awaiting {len(outstanding)} job(s); queue status: "
+                    f"{self.queue.status()}"
+                )
+        return {fingerprint: markers[fingerprint] for fingerprint in fingerprints}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the selector and the wake pipe (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._selector.unregister(self._wake_recv)
+        except (KeyError, ValueError):  # pragma: no cover - double close
+            pass
+        self._selector.close()
+        for fd in (self._wake_recv, self._wake_send):
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - double close
+                pass
+
+    def __enter__(self) -> "QueueEventCore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

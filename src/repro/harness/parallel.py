@@ -93,14 +93,12 @@ from __future__ import annotations
 
 import os
 import subprocess
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.core import compile_program
-from repro.harness import faults
 from repro.harness.cache import ResultCache, simulation_fingerprint, stats_from_dict, stats_to_dict
 from repro.harness.experiment import (
     BenchmarkResult,
@@ -143,6 +141,11 @@ class SimulationJob:
     # transport fields above it never participates in fingerprint():
     # how often a job may be retried doesn't change what it computes.
     max_attempts: Optional[int] = None
+    # Queue scheduling band (None: the queue's default band).  Pure
+    # transport as well — when a worker runs this job has no bearing on
+    # what it computes, so a high-priority service request is a cache
+    # hit for an identical batch cell and vice versa.
+    priority: Optional[int] = None
 
     def fingerprint(self) -> str:
         """Content hash of the job's full input set (see :mod:`.cache`)."""
@@ -255,6 +258,7 @@ class ParallelSuiteRunner(SuiteRunner):
         queue_assist: bool = True,
         queue_timeout: Optional[float] = 600.0,
         queue_max_attempts: Optional[int] = None,
+        queue_priority: Optional[int] = None,
         shard_span_windows: Optional[int] = None,
         shard_overlap: Union[str, int] = "full",
         shard_slack: Optional[int] = None,
@@ -286,6 +290,7 @@ class ParallelSuiteRunner(SuiteRunner):
             raise ValueError("queue_max_attempts must be a positive integer or None")
         self.workers = workers
         self.queue_max_attempts = queue_max_attempts
+        self.queue_priority = queue_priority
         self.backend = backend
         self.queue_workers = queue_workers
         self.queue_ttl = queue_ttl
@@ -337,6 +342,7 @@ class ParallelSuiteRunner(SuiteRunner):
             trace_cache_max_bytes=self.trace_cache_max_bytes,
             engine=self.engine,
             max_attempts=self.queue_max_attempts,
+            priority=self.queue_priority,
         )
 
     def _fold_trace_counters(self, payload: dict) -> None:
@@ -462,6 +468,7 @@ class ParallelSuiteRunner(SuiteRunner):
                         trace_cache_max_bytes=self.trace_cache_max_bytes,
                         engine=self.engine,
                         max_attempts=self.queue_max_attempts,
+                        priority=self.queue_priority,
                     )
                 )
             groups.append((start, len(spans)))
@@ -537,73 +544,31 @@ class ParallelSuiteRunner(SuiteRunner):
         return payloads
 
     def _await_markers(self, queue, fingerprints: list[str]) -> dict[str, dict]:
-        """Poll for completion markers; ``queue_timeout`` bounds *stall*.
+        """Await completion markers on the shared event-driven core.
 
-        The timeout is an inactivity bound, not a whole-batch deadline:
-        it re-arms every time a marker arrives, a lease heartbeats, or
-        the assist path executes a job, so a large grid served by slow
-        but live workers never trips it — only a genuinely wedged queue
-        (nothing pending, nothing beating, nothing arriving) does.  A
-        job escalated to ``poison/`` (retry budget exhausted, or an
-        undecodable envelope) fails the batch immediately with the
-        recorded reason instead of waiting out the timeout.
+        This used to be a fixed-interval sleep-poll loop; it now
+        subscribes the batch's fingerprints on a
+        :class:`~repro.harness.completion.QueueEventCore` — the same
+        selector loop the experiment service daemon multiplexes client
+        sockets on — whose scan cadence adapts between ``queue_poll/4``
+        and ``queue_poll*4`` with queue activity.  Semantics are
+        unchanged: ``queue_timeout`` bounds *stall* (it re-arms on every
+        marker, heartbeat and assisted job, so slow-but-live fleets
+        never trip it), a job escalated to ``poison/`` fails the batch
+        immediately with the recorded reason, and ``queue_assist``
+        claims unassigned jobs between scans so progress never depends
+        on anyone else being alive.
         """
-        from repro.harness.queue import _default_worker_id, process_claimed_job
+        from repro.harness.completion import QueueEventCore
 
-        worker_id = "driver-" + _default_worker_id()
-        markers: dict[str, dict] = {}
-        remaining = set(fingerprints)
-        last_progress = time.monotonic()
-        last_beat: Optional[float] = None
-        while remaining:
-            progressed = False
-            # One directory listing per tick; open only fresh arrivals.
-            for fingerprint in remaining & queue.list_done():
-                marker = queue.done_marker(fingerprint)
-                if marker is not None:
-                    markers[fingerprint] = marker
-                    remaining.discard(fingerprint)
-                    progressed = True
-            if not remaining:
-                break
-            poisoned = remaining & queue.list_poisoned()
-            if poisoned:
-                fingerprint = sorted(poisoned)[0]
-                record = queue.poison_record(fingerprint) or {}
-                raise RuntimeError(
-                    f"queue job {record.get('benchmark')}/"
-                    f"{record.get('technique')} was poisoned after "
-                    f"{record.get('attempts', '?')} attempt(s) on worker "
-                    f"{record.get('worker')!r}:\n"
-                    f"{record.get('poison_reason', 'unrecorded')}"
-                )
-            queue.requeue_expired()
-            if self.queue_assist:
-                claimed = queue.claim(worker_id)
-                if claimed is not None:
-                    process_claimed_job(queue, claimed, worker_id)
-                    progressed = True
-            # A live worker mid-simulation produces no markers for a
-            # while, but its heartbeat moves the youngest-lease age.
-            beat = queue.youngest_lease_age()
-            if beat is not None and (last_beat is None or beat < last_beat):
-                progressed = True
-            last_beat = beat
-            now = time.monotonic()
-            if progressed:
-                last_progress = now
-            else:
-                if (
-                    self.queue_timeout is not None
-                    and now - last_progress > self.queue_timeout
-                ):
-                    raise TimeoutError(
-                        f"queue backend stalled for {self.queue_timeout:.0f}s "
-                        f"awaiting {len(remaining)} job(s); queue status: "
-                        f"{queue.status()}"
-                    )
-                faults.sleep(self.queue_poll)
-        return markers
+        with QueueEventCore(
+            queue,
+            poll_floor=max(0.01, self.queue_poll / 4.0),
+            poll_ceiling=max(self.queue_poll * 4.0, self.queue_poll),
+            assist=self.queue_assist,
+            stall_timeout=self.queue_timeout,
+        ) as core:
+            return core.wait_for_markers(fingerprints)
 
     # ------------------------------------------------------------------
     def _program_for(self, job):

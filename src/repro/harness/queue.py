@@ -27,13 +27,23 @@ All queue state lives under ``<cache_dir>/queue/``::
 * **Envelope** — every job file is a one-object JSON envelope:
   ``{"format": 1, "kind": "simulation"|"shard", "fingerprint": ...,
   "benchmark": ..., "technique": ..., "attempts": 0, "max_attempts": 3,
-  "job": <base64 pickle>}``.  The human-readable fields make the queue
-  greppable; the pickled job is the exact
+  "priority": 0, "job": <base64 pickle>}``.  The human-readable fields
+  make the queue greppable; the pickled job is the exact
   :class:`~repro.harness.parallel.SimulationJob` /
   :class:`~repro.harness.shard.ShardJob` the process pool already
   ships between processes.  ``attempts`` counts execution failures so
   far; ``max_attempts`` is the job's retry budget (jobs may carry their
   own ``max_attempts`` attribute, else :data:`DEFAULT_MAX_ATTEMPTS`).
+  ``priority`` is the scheduling band (0–9, higher claims first;
+  default 0): workers sort each claim listing by band before renaming,
+  so an interactive service request overtakes a batch backfill without
+  any new queue state.  Priority is transport, not identity — it never
+  enters the fingerprint, lives only in the envelope JSON (file names
+  stay pure fingerprints, keeping the rename choreography and
+  idempotence checks untouched), and is fixed at first enqueue: a
+  deduped re-submission at a different band does **not** rewrite the
+  pending envelope, because an atomic republish could resurrect a
+  just-claimed job and double-execute it.
 * **Enqueue** — write the envelope to a ``.tmp-*`` file and
   ``os.replace`` it into ``pending/`` (the same atomicity discipline as
   ``ResultCache.store``).  Enqueueing is idempotent: a fingerprint that
@@ -129,6 +139,22 @@ QUEUE_FORMAT_VERSION = 1
 #: job escalates to ``poison/`` with its last traceback recorded.
 DEFAULT_MAX_ATTEMPTS = 3
 
+#: Scheduling bands: envelopes carry ``priority`` in [MIN, MAX]; higher
+#: bands are claimed first.  Values outside the range are clamped at
+#: enqueue so a foreign producer can't starve the fleet with 2**31.
+PRIORITY_MIN = 0
+PRIORITY_MAX = 9
+DEFAULT_PRIORITY = 0
+
+
+def clamp_priority(priority) -> int:
+    """Coerce ``priority`` into the documented band range."""
+    try:
+        value = int(priority)
+    except (TypeError, ValueError):
+        return DEFAULT_PRIORITY
+    return max(PRIORITY_MIN, min(PRIORITY_MAX, value))
+
 
 def _default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}-{random.randrange(16**4):04x}"
@@ -221,6 +247,13 @@ class WorkQueue:
         # with ``claimed`` this gives the realised claim batch size
         # (the per-job filesystem round-trip saving of batched claims).
         self.claim_batches = 0
+        # Priority memo: fingerprint -> band, filled at enqueue (the
+        # producer knows the band without a read) and lazily from
+        # pending envelopes during claim ordering, so each worker
+        # process reads any given envelope's band at most once instead
+        # of once per scan.  Priority is fixed at first enqueue, so a
+        # memo entry can never go stale while its file exists.
+        self._priority_memo: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Paths
@@ -240,7 +273,12 @@ class WorkQueue:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def enqueue(self, job, kind: Optional[str] = None) -> str:
+    def enqueue(
+        self,
+        job,
+        kind: Optional[str] = None,
+        priority: Optional[int] = None,
+    ) -> str:
         """Publish ``job`` for any worker to claim; idempotent.
 
         ``job`` must expose ``fingerprint()`` and pickle cleanly (both
@@ -253,6 +291,14 @@ class WorkQueue:
         job queued afresh with a fresh ``attempts`` counter — otherwise
         one bad spell (disk full, OOM, a since-fixed bug) would poison
         its fingerprint forever.
+
+        ``priority`` (explicit argument, else the job's own ``priority``
+        attribute, else :data:`DEFAULT_PRIORITY`) selects the scheduling
+        band, clamped to [:data:`PRIORITY_MIN`, :data:`PRIORITY_MAX`].
+        The band is fixed at first enqueue: when the fingerprint is
+        already queued the call returns without touching the envelope —
+        republishing a pending file to bump its band could race a claim
+        rename and resurrect a just-leased job into double execution.
         """
         if kind is None:
             kind = "simulation" if isinstance(job, SimulationJob) else "shard"
@@ -276,6 +322,9 @@ class WorkQueue:
         ):
             return fingerprint
         max_attempts = getattr(job, "max_attempts", None) or DEFAULT_MAX_ATTEMPTS
+        if priority is None:
+            priority = getattr(job, "priority", None)
+        band = clamp_priority(priority if priority is not None else DEFAULT_PRIORITY)
         envelope = {
             "format": QUEUE_FORMAT_VERSION,
             "kind": kind,
@@ -284,6 +333,7 @@ class WorkQueue:
             "technique": getattr(job, "technique", ""),
             "attempts": 0,
             "max_attempts": int(max_attempts),
+            "priority": band,
             "job": base64.b64encode(pickle.dumps(job)).decode("ascii"),
         }
         DEFAULT_RETRY_POLICY.call(
@@ -293,6 +343,7 @@ class WorkQueue:
             key=f"enqueue/{fingerprint}",
         )
         self.enqueued += 1
+        self._priority_memo[fingerprint] = band
         return fingerprint
 
     # ------------------------------------------------------------------
@@ -312,9 +363,14 @@ class WorkQueue:
         metadata operation) per claim attempt; batching amortises that
         single scan over up to ``limit`` atomic renames, cutting
         per-job filesystem round-trips by the batch size.  Candidates
-        are tried in random order so a fleet of workers scanning the
-        same directory mostly avoids colliding on one file; the rename
-        makes any remaining collision safe (one winner per file).
+        are shuffled and then **stably sorted by priority band**
+        (higher first): within one band a fleet of workers scanning the
+        same directory mostly avoids colliding on one file, while
+        across bands every worker agrees that interactive work is
+        claimed before backfill; the rename makes any remaining
+        collision safe (one winner per file).  Band reads are memoized
+        per fingerprint, so ordering costs each worker at most one
+        envelope read per job over its lifetime, not one per scan.
 
         Callers executing a batch sequentially must keep every held
         lease heartbeating while earlier jobs run
@@ -328,6 +384,9 @@ class WorkQueue:
         claims: list[ClaimedJob] = []
         names = _protocol_names(self.pending_dir)
         random.shuffle(names)
+        # Stable sort after the shuffle: strict priority order across
+        # bands, randomised contention-avoidance order within one.
+        names.sort(key=self._pending_priority, reverse=True)
         for name in names:
             if len(claims) >= limit:
                 break
@@ -354,6 +413,28 @@ class WorkQueue:
         if claims:
             self.claim_batches += 1
         return claims
+
+    def _pending_priority(self, name: str) -> int:
+        """The priority band of pending file ``name`` (memoized).
+
+        A file that vanished mid-read (another worker's claim rename
+        won) or carries no readable band sorts as the default band and
+        is *not* memoized — the next scan, if the file reappears via a
+        retry re-enqueue, reads it fresh.
+        """
+        fingerprint = name[: -len(".json")] if name.endswith(".json") else name
+        memo = self._priority_memo.get(fingerprint)
+        if memo is not None:
+            return memo
+        try:
+            envelope = json.loads(
+                (self.pending_dir / name).read_text(encoding="utf-8")
+            )
+            band = clamp_priority(envelope.get("priority", DEFAULT_PRIORITY))
+        except (OSError, ValueError, TypeError, json.JSONDecodeError):
+            return DEFAULT_PRIORITY
+        self._priority_memo[fingerprint] = band
+        return band
 
     def _decode_lease(self, lease: Path, worker_id: str) -> Optional[ClaimedJob]:
         """Decode a freshly won lease, poisoning undecodable envelopes."""
@@ -695,9 +776,18 @@ class WorkQueue:
                     "attempts": record.get("attempts"),
                 }
             )
+        # Pending work broken down by scheduling band (band -> count,
+        # bands with no pending jobs omitted): one glance answers
+        # whether the backlog is interactive traffic or batch backfill.
+        pending_names = _protocol_names(self.pending_dir)
+        pending_by_priority: dict[str, int] = {}
+        for name in pending_names:
+            band = str(self._pending_priority(name))
+            pending_by_priority[band] = pending_by_priority.get(band, 0) + 1
         return {
             "directory": str(self.root),
-            "pending": _count(self.pending_dir),
+            "pending": len(pending_names),
+            "pending_by_priority": pending_by_priority,
             "leased": _count(self.leases_dir),
             "done": _count(self.done_dir),
             "poisoned": _count(self.poison_dir),
@@ -738,6 +828,12 @@ class WorkQueue:
             "jobs_failed": 0,
             "gc_sweeps": 0,
         }
+        # Per-host rollup of the same counters: stats files are tagged
+        # with the publishing worker's hostname, so a fleet spread over
+        # NFS decomposes into which *machines* are sweeping and
+        # claiming, not just process-level totals.  Files from before
+        # the host tag aggregate under "" (unknown host).
+        hosts: dict[str, dict] = {}
         for name in _protocol_names(self.workers_dir):
             try:
                 payload = json.loads(
@@ -750,6 +846,7 @@ class WorkQueue:
                 jobs_done = int(payload.get("jobs_done", 0))
                 jobs_failed = int(payload.get("jobs_failed", 0))
                 gc_sweeps = int(payload.get("gc_sweeps", 0))
+                host = str(payload.get("host", ""))
             except (OSError, ValueError, TypeError, json.JSONDecodeError):
                 continue
             totals["workers"] += 1
@@ -758,11 +855,27 @@ class WorkQueue:
             totals["jobs_done"] += jobs_done
             totals["jobs_failed"] += jobs_failed
             totals["gc_sweeps"] += gc_sweeps
+            per_host = hosts.setdefault(
+                host,
+                {
+                    "workers": 0,
+                    "claimed": 0,
+                    "jobs_done": 0,
+                    "jobs_failed": 0,
+                    "gc_sweeps": 0,
+                },
+            )
+            per_host["workers"] += 1
+            per_host["claimed"] += claimed
+            per_host["jobs_done"] += jobs_done
+            per_host["jobs_failed"] += jobs_failed
+            per_host["gc_sweeps"] += gc_sweeps
         totals["mean_batch_size"] = (
             round(totals["claimed"] / totals["claim_batches"], 2)
             if totals["claim_batches"]
             else 0.0
         )
+        totals["hosts"] = hosts
         return totals
 
     def is_idle(self) -> bool:
@@ -962,6 +1075,7 @@ class QueueWorker:
         payload = {
             "format": QUEUE_FORMAT_VERSION,
             "worker": self.worker_id,
+            "host": socket.gethostname(),
             "claimed": queue.claimed,
             "claim_batches": queue.claim_batches,
             "jobs_done": self.jobs_done,

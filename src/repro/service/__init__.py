@@ -1,0 +1,27 @@
+"""Simulation-as-a-service: the experiment front end over the work queue.
+
+The batch driver (:class:`~repro.harness.parallel.ParallelSuiteRunner`)
+serves one caller per process; this package serves many.  A long-lived
+daemon (:mod:`repro.service.daemon`, ``python -m repro.service
+<cache_dir>``) accepts simulation and grid requests from concurrent
+clients over a line-delimited-JSON socket protocol
+(:mod:`repro.service.protocol`), collapses identical requests onto one
+queued job with many subscribers, schedules with priority bands and
+admission control, and streams per-subscription progress events.  The
+thin blocking :class:`~repro.service.client.ServiceClient` is the
+library face of the wire protocol.
+
+See ``docs/service.md`` for the wire protocol, dedupe/subscription
+semantics, the priority + admission-control policy and failure modes.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ExperimentService
+from repro.service.protocol import RequestError, validate_request
+
+__all__ = [
+    "ExperimentService",
+    "RequestError",
+    "ServiceClient",
+    "validate_request",
+]

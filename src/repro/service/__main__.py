@@ -1,0 +1,88 @@
+"""Daemon entry point: ``python -m repro.service <cache_dir>``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional
+
+from repro.harness import faults
+from repro.service.daemon import ExperimentService
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Experiment service daemon over a shared cache directory",
+    )
+    parser.add_argument("cache_dir", help="shared cache directory (holds queue/)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7341, help="bind port (0 for ephemeral)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="local worker subprocesses to spawn for execution (external "
+        "hosts join by running python -m repro.harness.queue <cache_dir>)",
+    )
+    parser.add_argument(
+        "--ttl", type=float, default=60.0, help="lease heartbeat TTL (s)"
+    )
+    parser.add_argument(
+        "--assist",
+        action="store_true",
+        help="let the service loop itself claim and execute queued jobs "
+        "between ticks (blocks the loop per job; for single-process use)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="global admission bound on unique in-flight fingerprints",
+    )
+    parser.add_argument(
+        "--max-inflight-per-client",
+        type=int,
+        default=16,
+        help="admission bound on one client's unresolved cell charges",
+    )
+    args = parser.parse_args(argv)
+
+    # A chaos soak exports REPRO_FAULT_PLAN; the daemon self-installs so
+    # its queue/cache touchpoints share the fleet's fault schedule.
+    faults.install_from_env()
+    service = ExperimentService(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        queue_ttl=args.ttl,
+        assist=args.assist,
+        max_inflight=args.max_inflight,
+        max_inflight_per_client=args.max_inflight_per_client,
+    )
+    address = service.open()
+    print(json.dumps({"listening": list(address)}), flush=True)
+    procs = []
+    if args.workers:
+        from repro.harness.queue import spawn_local_workers
+
+        procs = spawn_local_workers(args.cache_dir, args.workers, ttl=args.ttl)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        service.stop()
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except Exception:  # repro: allow[exception-hygiene] best-effort teardown
+                proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Blocking client library for the experiment service.
+
+The daemon's wire protocol (:mod:`repro.service.protocol`) is plain
+newline-delimited JSON, so any language can speak it with a socket and
+a JSON parser; this module is the in-tree Python face.  One
+:class:`ServiceClient` holds one connection and issues one request at a
+time, reading the event stream until the terminal event for that
+request arrives — the natural shape for scripts and tests.  (The
+*daemon* multiplexes arbitrarily many such clients on one loop; the
+concurrency lives server-side, where the dedupe is.)
+
+Usage::
+
+    with ServiceClient(host, port) as client:
+        cells = client.grid(["gzip", "mcf"], ["baseline", "abella"],
+                            config={"max_instructions": 4000,
+                                    "warmup_instructions": 1000},
+                            priority=7)
+        status = client.status()
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Optional
+
+from repro.service import protocol
+from repro.service.protocol import RequestError
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with a terminal ``rejected`` or ``error`` event."""
+
+    def __init__(self, event: dict):
+        self.event = event
+        reason = event.get("reason", event.get("event"))
+        super().__init__(
+            f"{reason}: {event.get('message', 'no message')}"
+        )
+
+
+class ServiceClient:
+    """One blocking connection to an :class:`ExperimentService` daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 120.0,
+    ):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self.sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _send(self, payload: dict) -> None:
+        self.sock.sendall(protocol.encode_line(payload))
+
+    def _read_event(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return protocol.decode_line(line)
+
+    def request(
+        self,
+        payload: dict,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Send one request; stream events until its terminal one.
+
+        ``on_event`` observes every event for the request (``accepted``
+        and each ``progress``) before the terminal ``result``/``status``
+        event is returned.  A terminal ``rejected`` or ``error`` raises
+        :class:`ServiceError` carrying the daemon's event verbatim.
+        """
+        if "id" not in payload or payload["id"] is None:
+            self._next_id += 1
+            payload = dict(payload, id=self._next_id)
+        request_id = payload["id"]
+        self._send(payload)
+        while True:
+            event = self._read_event()
+            if event.get("id") != request_id:
+                # An event for a request this client never issued (the
+                # daemon streams per-connection, so this means a bug or
+                # a stale terminal from a dropped request): skip it.
+                continue
+            kind = event.get("event")
+            if kind in ("rejected", "error"):
+                raise ServiceError(event)
+            if on_event is not None:
+                on_event(event)
+            if kind in ("result", "status"):
+                return event
+
+    # ------------------------------------------------------------------
+    def grid(
+        self,
+        benchmarks: list,
+        techniques: list,
+        config: Optional[dict] = None,
+        priority: Optional[int] = None,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> list:
+        """Run a grid; returns the per-cell list of the result event."""
+        payload: dict = {
+            "op": "grid",
+            "benchmarks": list(benchmarks),
+            "techniques": list(techniques),
+        }
+        if config:
+            payload["config"] = dict(config)
+        if priority is not None:
+            payload["priority"] = priority
+        return self.request(payload, on_event=on_event)["cells"]
+
+    def simulate(
+        self,
+        benchmark: str,
+        technique: str,
+        config: Optional[dict] = None,
+        priority: Optional[int] = None,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Run one cell; returns its stats dict."""
+        payload: dict = {
+            "op": "simulate",
+            "benchmark": benchmark,
+            "technique": technique,
+        }
+        if config:
+            payload["config"] = dict(config)
+        if priority is not None:
+            payload["priority"] = priority
+        event = self.request(payload, on_event=on_event)
+        return event["cells"][0]["stats"]
+
+    def status(self) -> dict:
+        """The daemon's queue + service observability snapshot."""
+        event = self.request({"op": "status"})
+        return {"queue": event["queue"], "service": event["service"]}
+
+
+__all__ = ["RequestError", "ServiceClient", "ServiceError"]

@@ -1,0 +1,557 @@
+"""The experiment service daemon: many clients, one queue, one loop.
+
+``python -m repro.service <cache_dir>`` starts a long-lived daemon that
+multiplexes any number of concurrent client connections over the
+**same** :class:`~repro.harness.completion.QueueEventCore` selector
+loop the batch driver waits on — client sockets and queue completion
+markers are two event sources of one loop, so the daemon needs no
+threads, no locks around its request state, and no separate poll
+cadence for the queue.
+
+Request lifecycle (the dedupe/subscription pipeline)::
+
+    client line ── validate_request ── per-cell fingerprint ──┐
+                                                              │
+          ┌── ResultCache hit ───────────── resolve instantly ┤
+          ├── fingerprint in flight ──────── subscribe (no new job)
+          └── novel ───────── enqueue(priority) + watch ── subscribe
+
+N identical cells from N clients collapse onto **one** queued job with
+N subscriptions: the first request enqueues and every later one merely
+subscribes, so the queue's ``enqueued`` counter and the ``done/``
+marker count stay exactly the number of *unique* fingerprints no
+matter how many clients ask.  When the marker event fires, every
+subscription gets a ``progress`` event and each request whose last
+cell resolved gets its ``result`` event, cells in request order.
+
+Scheduling is two-layered: **admission control** here (a request whose
+cells would push its client or the whole service over the in-flight
+bounds is rejected whole with ``rejected: overload`` — partial
+admission would hand back a grid missing cells) and **priority bands**
+in the queue (the envelope's ``priority`` field; workers claim higher
+bands first, so interactive traffic overtakes batch backfill).
+
+Execution is the worker fleet's job, not the loop's: the daemon stays
+responsive because simulations run in worker processes (spawn some
+with ``--workers``, or point external hosts at the cache directory).
+``assist=True`` opts the loop itself into claiming jobs between ticks
+— useful for tests and single-process setups, at the cost of blocking
+the loop while each assisted job runs.
+
+Every filesystem touchpoint is the queue's and the caches' own
+(atomic-rename leases, ``repro.atomicio`` publication, quarantining
+cache reads), so the whole service path inherits chaoskit coverage:
+``REPRO_FAULT_PLAN`` installs a seeded plan at daemon start
+(:func:`repro.harness.faults.install_from_env`), and the chaos soak in
+``tests/test_service.py`` holds bit-identical results under torn
+writes, listing delays and mid-job worker death.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.cache import ResultCache, stats_to_dict
+from repro.harness.completion import CompletionEvent, QueueEventCore
+from repro.harness.experiment import RunConfig
+from repro.harness.parallel import SimulationJob
+from repro.harness.queue import WorkQueue, _default_worker_id
+from repro.service import protocol
+from repro.service.protocol import RequestError, validate_request
+
+#: Disconnect a client whose unread event backlog exceeds this many
+#: bytes — a reader that never drains would otherwise grow the daemon's
+#: out-buffer without bound.
+MAX_OUT_BUFFER = 8 << 20
+
+
+@dataclass
+class _Request:
+    """One admitted simulate/grid op: its cells and their resolutions."""
+
+    connection: "_Connection"
+    request_id: object
+    priority: int
+    # Cell order is the client's (benchmarks outer, techniques inner);
+    # the result event replays it regardless of completion order.
+    cells: list  # [(benchmark, technique, fingerprint)]
+    results: dict = field(default_factory=dict)  # fingerprint -> stats dict
+    failed: bool = False
+
+    def outstanding(self) -> int:
+        return len({fp for _, _, fp in self.cells}) - len(self.results)
+
+
+@dataclass
+class _Inflight:
+    """One queued fingerprint and the requests subscribed to it."""
+
+    priority: int
+    requests: list  # [_Request]
+
+
+class _Connection:
+    """One client socket: line reassembly, buffered writes, admission."""
+
+    def __init__(self, service: "ExperimentService", sock: socket.socket):
+        self.service = service
+        self.sock = sock
+        self.in_buffer = b""
+        self.out_buffer = b""
+        # Unresolved (fingerprint, request) pairs charged to this
+        # client — the per-client admission-control gauge.
+        self.inflight = 0
+        self.closed = False
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    # -- event-loop callbacks ------------------------------------------
+    def on_ready(self, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            self._flush()
+        if mask & selectors.EVENT_READ:
+            self._read()
+
+    def _read(self) -> None:
+        try:
+            chunk = self.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self.service._drop_connection(self)
+            return
+        if not chunk:
+            self.service._drop_connection(self)
+            return
+        self.in_buffer += chunk
+        while b"\n" in self.in_buffer:
+            line, self.in_buffer = self.in_buffer.split(b"\n", 1)
+            self.service._handle_line(self, line)
+            if self.closed:
+                return
+        if len(self.in_buffer) > protocol.MAX_LINE_BYTES:
+            # An endless unterminated line is a protocol violation, not
+            # a request we can answer; cut the connection.
+            self.service._drop_connection(self)
+
+    # -- writes --------------------------------------------------------
+    def send(self, message: dict) -> None:
+        if self.closed:
+            return
+        self.out_buffer += protocol.encode_line(message)
+        if len(self.out_buffer) > MAX_OUT_BUFFER:
+            self.service._drop_connection(self)
+            return
+        self._flush()
+
+    def _flush(self) -> None:
+        if self.closed:
+            return
+        try:
+            while self.out_buffer:
+                sent = self.sock.send(self.out_buffer)
+                self.out_buffer = self.out_buffer[sent:]
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            self.service._drop_connection(self)
+            return
+        self.service._set_write_interest(self, bool(self.out_buffer))
+
+
+class ExperimentService:
+    """The daemon: accept, validate, dedupe, schedule, stream.
+
+    Attributes:
+        cache_dir: the shared cache directory (results, traces, queue).
+        config: the server-side base :class:`RunConfig`; client config
+            overrides are applied per request via dataclass ``replace``.
+        max_inflight / max_inflight_per_client: admission-control
+            bounds on unresolved work (unique fingerprints globally,
+            (fingerprint, request) charges per client).
+        requests_accepted / requests_rejected / cells_deduped /
+            cells_cached / cells_enqueued: service traffic counters.
+    """
+
+    def __init__(
+        self,
+        cache_dir,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[RunConfig] = None,
+        queue_ttl: float = 60.0,
+        poll_floor: float = 0.02,
+        poll_ceiling: float = 0.5,
+        assist: bool = False,
+        max_inflight: int = 64,
+        max_inflight_per_client: int = 16,
+        queue_max_attempts: Optional[int] = None,
+    ):
+        self.cache_dir = Path(cache_dir)
+        self.host = host
+        self.port = port
+        self.config = config if config is not None else RunConfig()
+        self.cache = ResultCache(self.cache_dir)
+        self.queue = WorkQueue(self.cache_dir, ttl=queue_ttl)
+        self.core = QueueEventCore(
+            self.queue,
+            poll_floor=poll_floor,
+            poll_ceiling=poll_ceiling,
+            assist=assist,
+            worker_id="service-" + _default_worker_id(),
+        )
+        self.max_inflight = max_inflight
+        self.max_inflight_per_client = max_inflight_per_client
+        self.queue_max_attempts = queue_max_attempts
+        self.requests_accepted = 0
+        self.requests_rejected = 0
+        self.cells_deduped = 0
+        self.cells_cached = 0
+        self.cells_enqueued = 0
+        self._inflight: dict[str, _Inflight] = {}
+        self._connections: set[_Connection] = set()
+        self._listener: Optional[socket.socket] = None
+        self._stopping = False
+        self.address: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> tuple:
+        """Bind the listening socket; returns the bound (host, port)."""
+        listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        listener.setblocking(False)
+        self.core.register(listener, selectors.EVENT_READ, self._accept)
+        self._listener = listener
+        self.address = listener.getsockname()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`stop` is called."""
+        if self._listener is None:
+            self.open()
+        while not self._stopping:
+            self.core.step()
+        self._teardown()
+
+    def stop(self) -> None:
+        """Request shutdown; safe to call from another thread."""
+        self._stopping = True
+        self.core.wake()
+
+    def _teardown(self) -> None:
+        for connection in list(self._connections):
+            self._drop_connection(connection)
+        if self._listener is not None:
+            self.core.unregister(self._listener)
+            self._listener.close()
+            self._listener = None
+        self.core.close()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def _accept(self, mask: int) -> None:
+        if self._listener is None:
+            return
+        try:
+            sock, _addr = self._listener.accept()
+        except (BlockingIOError, InterruptedError):
+            return
+        sock.setblocking(False)
+        connection = _Connection(self, sock)
+        self._connections.add(connection)
+        self.core.register(
+            sock, selectors.EVENT_READ, connection.on_ready
+        )
+
+    def _set_write_interest(self, connection: _Connection, wanted: bool) -> None:
+        if connection.closed:
+            return
+        events = selectors.EVENT_READ
+        if wanted:
+            events |= selectors.EVENT_WRITE
+        self.core.modify(connection.sock, events, connection.on_ready)
+
+    def _drop_connection(self, connection: _Connection) -> None:
+        """Close a client; its subscriptions die, its jobs keep running.
+
+        A queued job another client is still subscribed to — or that a
+        future identical request would dedupe onto — is not cancelled;
+        only this client's subscriptions (and their admission charges)
+        are released.
+        """
+        if connection.closed:
+            return
+        connection.closed = True
+        self._connections.discard(connection)
+        try:
+            self.core.unregister(connection.sock)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        connection.sock.close()
+        for fingerprint, entry in list(self._inflight.items()):
+            entry.requests = [
+                request
+                for request in entry.requests
+                if request.connection is not connection
+            ]
+            if not entry.requests:
+                # Nobody is listening any more; the job still completes
+                # (and caches) but the service stops tracking it.
+                self._inflight.pop(fingerprint, None)
+                self.core.unwatch(fingerprint)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _handle_line(self, connection: _Connection, line: bytes) -> None:
+        if not line.strip():
+            return
+        payload: object = None
+        try:
+            payload = protocol.decode_line(line)
+            op = payload.get("op")
+            if op == "status":
+                self.handle_status(connection, payload)
+            elif op == "simulate":
+                self.handle_simulate(connection, payload)
+            elif op == "grid":
+                self.handle_grid(connection, payload)
+            else:
+                raise RequestError(f"unknown op {op!r}")
+        except RequestError as error:
+            self.requests_rejected += 1
+            connection.send(
+                {
+                    "event": "rejected",
+                    "id": payload.get("id") if isinstance(payload, dict) else None,
+                    "reason": "invalid",
+                    "message": str(error),
+                }
+            )
+        # The daemon must survive any single request's failure: one
+        # buggy handler path must cost one error event, not the loop.
+        # repro: allow[exception-hygiene] daemon-wide request isolation
+        except Exception as error:
+            connection.send(
+                {
+                    "event": "error",
+                    "id": payload.get("id") if isinstance(payload, dict) else None,
+                    "message": f"internal error: {error!r}",
+                }
+            )
+
+    def handle_simulate(self, connection: _Connection, payload: dict) -> None:
+        """One (benchmark, technique) cell; a grid of one."""
+        normalized = validate_request(payload)
+        self._admit(connection, normalized)
+
+    def handle_grid(self, connection: _Connection, payload: dict) -> None:
+        """A benchmarks × techniques grid under one subscription."""
+        normalized = validate_request(payload)
+        self._admit(connection, normalized)
+
+    def handle_status(self, connection: _Connection, payload: dict) -> None:
+        """Queue + service observability snapshot."""
+        normalized = validate_request(payload)
+        inflight_by_priority: dict[str, int] = {}
+        subscribers = 0
+        for entry in self._inflight.values():
+            band = str(entry.priority)
+            inflight_by_priority[band] = inflight_by_priority.get(band, 0) + 1
+            subscribers += len(entry.requests)
+        connection.send(
+            {
+                "event": "status",
+                "id": normalized["id"],
+                "queue": self.queue.status(),
+                "service": {
+                    "inflight": len(self._inflight),
+                    "inflight_by_priority": inflight_by_priority,
+                    "inflight_subscribers": subscribers,
+                    "connections": len(self._connections),
+                    "counters": {
+                        "requests_accepted": self.requests_accepted,
+                        "requests_rejected": self.requests_rejected,
+                        "cells_cached": self.cells_cached,
+                        "cells_deduped": self.cells_deduped,
+                        "cells_enqueued": self.cells_enqueued,
+                    },
+                },
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _admit(self, connection: _Connection, normalized: dict) -> None:
+        """Dedupe, admission-check and schedule one validated request."""
+        config = (
+            replace(self.config, **normalized["config"])
+            if normalized["config"]
+            else self.config
+        )
+        priority = normalized["priority"]
+        cells: list = []
+        jobs: dict[str, SimulationJob] = {}
+        for benchmark in normalized["benchmarks"]:
+            for technique in normalized["techniques"]:
+                job = SimulationJob(
+                    benchmark,
+                    technique,
+                    config,
+                    trace_cache_dir=str(self.cache_dir / "traces"),
+                    max_attempts=self.queue_max_attempts,
+                    priority=priority,
+                )
+                fingerprint = job.fingerprint()
+                cells.append((benchmark, technique, fingerprint))
+                jobs[fingerprint] = job
+        cached: dict[str, dict] = {}
+        subscribe: list[str] = []
+        enqueue: list[str] = []
+        for fingerprint in jobs:
+            stats = self.cache.load(fingerprint)
+            if stats is not None:
+                cached[fingerprint] = stats_to_dict(stats)
+            elif fingerprint in self._inflight:
+                subscribe.append(fingerprint)
+            else:
+                enqueue.append(fingerprint)
+        # Admission control, whole-request: partial admission would
+        # return a grid with holes.  Cached cells are free (no queue
+        # work); new and deduped cells charge the client, new unique
+        # fingerprints charge the global bound.
+        charges = len(subscribe) + len(enqueue)
+        if connection.inflight + charges > self.max_inflight_per_client or (
+            len(self._inflight) + len(enqueue) > self.max_inflight
+        ):
+            self.requests_rejected += 1
+            connection.send(
+                {
+                    "event": "rejected",
+                    "id": normalized["id"],
+                    "reason": "overload",
+                    "message": (
+                        f"in-flight bounds exceeded ({len(self._inflight)} "
+                        f"global, {connection.inflight} on this client); "
+                        "retry later or lower the request's cell count"
+                    ),
+                }
+            )
+            return
+        request = _Request(
+            connection=connection,
+            request_id=normalized["id"],
+            priority=priority,
+            cells=cells,
+            results=dict(cached),
+        )
+        self.requests_accepted += 1
+        self.cells_cached += len(cached)
+        self.cells_deduped += len(subscribe)
+        self.cells_enqueued += len(enqueue)
+        for fingerprint in subscribe:
+            self._inflight[fingerprint].requests.append(request)
+        for fingerprint in enqueue:
+            self.queue.enqueue(jobs[fingerprint], priority=priority)
+            self._inflight[fingerprint] = _Inflight(
+                priority=priority, requests=[request]
+            )
+            self.core.watch(fingerprint, self._on_completion)
+        connection.inflight += charges
+        connection.send(
+            {
+                "event": "accepted",
+                "id": normalized["id"],
+                "cells": len(cells),
+                "cached": len(cached),
+                "deduped": len(subscribe),
+                "enqueued": len(enqueue),
+            }
+        )
+        for benchmark, technique, fingerprint in cells:
+            if fingerprint in cached:
+                self._send_progress(
+                    request, benchmark, technique, source="cache"
+                )
+        self._maybe_finish(request)
+
+    # ------------------------------------------------------------------
+    # Completion plumbing
+    # ------------------------------------------------------------------
+    def _on_completion(self, event: CompletionEvent) -> None:
+        """The core resolved a watched fingerprint; fan out to requests."""
+        entry = self._inflight.pop(event.fingerprint, None)
+        if entry is None:
+            return
+        marker = event.record
+        failure: Optional[str] = None
+        if event.kind == "poisoned":
+            failure = (
+                f"job poisoned after {marker.get('attempts', '?')} "
+                f"attempt(s): {marker.get('poison_reason', 'unrecorded')}"
+            )
+        elif marker.get("error") or marker.get("payload") is None:
+            failure = f"job failed on worker {marker.get('worker')!r}: " + str(
+                marker.get("error", "no payload")
+            )
+        for request in entry.requests:
+            request.connection.inflight -= 1
+            if failure is not None:
+                if not request.failed:
+                    request.failed = True
+                    request.connection.send(
+                        {
+                            "event": "error",
+                            "id": request.request_id,
+                            "message": failure,
+                        }
+                    )
+                continue
+            request.results[event.fingerprint] = marker["payload"]["stats"]
+            for benchmark, technique, fingerprint in request.cells:
+                if fingerprint == event.fingerprint:
+                    self._send_progress(
+                        request, benchmark, technique, source="queue"
+                    )
+            self._maybe_finish(request)
+
+    def _send_progress(
+        self, request: _Request, benchmark: str, technique: str, source: str
+    ) -> None:
+        request.connection.send(
+            {
+                "event": "progress",
+                "id": request.request_id,
+                "benchmark": benchmark,
+                "technique": technique,
+                "source": source,
+                "done": len(request.results),
+                "total": len({fp for _, _, fp in request.cells}),
+            }
+        )
+
+    def _maybe_finish(self, request: _Request) -> None:
+        if request.failed or request.outstanding() > 0:
+            return
+        request.connection.send(
+            {
+                "event": "result",
+                "id": request.request_id,
+                "cells": [
+                    {
+                        "benchmark": benchmark,
+                        "technique": technique,
+                        "stats": request.results[fingerprint],
+                    }
+                    for benchmark, technique, fingerprint in request.cells
+                ],
+            }
+        )

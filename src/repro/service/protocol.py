@@ -1,0 +1,191 @@
+"""Wire protocol for the experiment service: framing and validation.
+
+Every message — request or event — is one JSON object on one
+``\\n``-terminated line, UTF-8 encoded (the classic newline-delimited
+JSON pump; BenchPress's request/response socket loop is the shape
+exemplar named in ROADMAP.md).  Requests carry an ``op`` and a
+client-chosen ``id``; every event the daemon streams back echoes that
+``id`` so one connection can correlate interleaved subscriptions.
+
+The **validation chokepoint** is :func:`validate_request`: every
+daemon handler must pass a decoded client payload through it before
+touching the queue or the caches (the ``request-validation`` reprolint
+rule enforces exactly this).  Validation is strict — unknown ops,
+unknown benchmarks/techniques, unknown config fields, out-of-bounds
+budgets and malformed shapes all raise :class:`RequestError` — so a
+hostile or buggy client can neither enqueue garbage fingerprints nor
+probe the caches with unchecked input.
+
+Request shapes::
+
+    {"op": "simulate", "id": ..., "benchmark": "gzip",
+     "technique": "abella", "config": {...}, "priority": 0-9}
+    {"op": "grid", "id": ..., "benchmarks": [...], "techniques": [...],
+     "config": {...}, "priority": 0-9}
+    {"op": "status", "id": ...}
+
+``config`` may override only the whitelisted :class:`RunConfig` budget
+fields (:data:`CONFIG_FIELDS`); compiler/processor/energy parameters
+are the server's, so every client computes against the same machine
+model and identical requests collapse to identical fingerprints.
+
+Event shapes (all echo ``id``)::
+
+    {"event": "accepted", "id": ..., "cells": N, "cached": K,
+     "deduped": M, "enqueued": E}
+    {"event": "rejected", "id": ..., "reason": "overload"|"invalid",
+     "message": ...}
+    {"event": "progress", "id": ..., "benchmark": ..., "technique": ...,
+     "source": "cache"|"queue", "done": n, "total": N}
+    {"event": "result", "id": ..., "cells": [{"benchmark": ...,
+     "technique": ..., "stats": {...}}, ...]}
+    {"event": "error", "id": ..., "message": ...}
+    {"event": "status", "id": ..., "queue": {...}, "service": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.harness.experiment import RunConfig, TECHNIQUES
+from repro.harness.queue import PRIORITY_MAX, PRIORITY_MIN
+from repro.workloads import ALL_TRAITS
+
+#: Bump when the request/event shapes change incompatibly; the daemon
+#: rejects requests declaring a different version (absent means 1).
+PROTOCOL_VERSION = 1
+
+#: Hard per-line ceiling.  A line that exceeds it is a protocol error
+#: (the connection is dropped) — without a bound, one client writing an
+#: endless line would grow a daemon-side buffer without limit.
+MAX_LINE_BYTES = 1 << 20
+
+#: The RunConfig fields a client may override, with their bounds.  Only
+#: the run *budgets* are tunable; the machine model (compiler,
+#: processor, energy parameters) is fixed server-side so identical
+#: requests from different clients hash to identical fingerprints.
+CONFIG_FIELDS: dict[str, tuple[int, int]] = {
+    "max_instructions": (1, 5_000_000),
+    "warmup_instructions": (0, 1_000_000),
+    "abella_interval": (1, 100_000),
+}
+
+VALID_OPS = ("simulate", "grid", "status")
+
+
+class RequestError(ValueError):
+    """A client payload failed validation; the message is client-safe."""
+
+
+def _require_str_list(value, what: str, allowed) -> list[str]:
+    if not isinstance(value, list) or not value:
+        raise RequestError(f"{what} must be a non-empty list")
+    names: list[str] = []
+    for item in value:
+        if not isinstance(item, str):
+            raise RequestError(f"{what} entries must be strings")
+        if item not in allowed:
+            raise RequestError(f"unknown {what[:-1]} {item!r}")
+        if item not in names:
+            names.append(item)
+    return names
+
+
+def _validate_config(value) -> dict:
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise RequestError("config must be an object")
+    overrides: dict[str, int] = {}
+    for field, override in value.items():
+        bounds = CONFIG_FIELDS.get(field)
+        if bounds is None:
+            raise RequestError(f"unknown config field {field!r}")
+        if isinstance(override, bool) or not isinstance(override, int):
+            raise RequestError(f"config field {field!r} must be an integer")
+        low, high = bounds
+        if not low <= override <= high:
+            raise RequestError(
+                f"config field {field!r} out of bounds [{low}, {high}]"
+            )
+        overrides[field] = override
+    return overrides
+
+
+def validate_request(payload) -> dict:
+    """The one chokepoint between raw client JSON and the queue/caches.
+
+    Returns a normalized request dict: ``op``, ``id`` (echoed verbatim,
+    None when absent), ``priority`` (int in band range), and for the
+    work-bearing ops ``benchmarks``/``techniques`` (deduplicated,
+    order-preserved lists) plus ``config`` (whitelisted overrides
+    only).  Raises :class:`RequestError` on anything else — handlers
+    must not touch the queue or caches before this call returns.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError("request must be a JSON object")
+    version = payload.get("version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise RequestError(f"unsupported protocol version {version!r}")
+    op = payload.get("op")
+    if op not in VALID_OPS:
+        raise RequestError(f"unknown op {op!r}; valid ops: {', '.join(VALID_OPS)}")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise RequestError("id must be a string or integer")
+    priority = payload.get("priority", PRIORITY_MIN)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise RequestError("priority must be an integer")
+    if not PRIORITY_MIN <= priority <= PRIORITY_MAX:
+        raise RequestError(
+            f"priority out of band range [{PRIORITY_MIN}, {PRIORITY_MAX}]"
+        )
+    normalized: dict = {"op": op, "id": request_id, "priority": priority}
+    if op == "status":
+        return normalized
+    if op == "simulate":
+        benchmarks = _require_str_list(
+            [payload.get("benchmark")], "benchmarks", ALL_TRAITS
+        )
+        techniques = _require_str_list(
+            [payload.get("technique")], "techniques", TECHNIQUES
+        )
+    else:
+        benchmarks = _require_str_list(
+            payload.get("benchmarks"), "benchmarks", ALL_TRAITS
+        )
+        techniques = _require_str_list(
+            payload.get("techniques"), "techniques", TECHNIQUES
+        )
+    overrides = _validate_config(payload.get("config"))
+    max_instructions = overrides.get(
+        "max_instructions", RunConfig.max_instructions
+    )
+    warmup = overrides.get("warmup_instructions", RunConfig.warmup_instructions)
+    if warmup >= max_instructions:
+        raise RequestError(
+            "warmup_instructions must be smaller than max_instructions"
+        )
+    normalized["benchmarks"] = benchmarks
+    normalized["techniques"] = techniques
+    normalized["config"] = overrides
+    return normalized
+
+
+def encode_line(message: dict) -> bytes:
+    """One protocol message as a complete UTF-8 line."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line; :class:`RequestError` on malformed JSON."""
+    if len(line) > MAX_LINE_BYTES:
+        raise RequestError("request line exceeds MAX_LINE_BYTES")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise RequestError(f"malformed request line: {error}") from None
+    if not isinstance(payload, dict):
+        raise RequestError("request must be a JSON object")
+    return payload

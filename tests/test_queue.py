@@ -621,3 +621,240 @@ class TestWorkerStatsPublication:
         ]
         assert len(files) == 2
         assert queue.worker_stats()["workers"] == 2
+
+
+class TestPriorityScheduling:
+    """The ``priority`` envelope band and priority-ordered claiming."""
+
+    CELLS = [
+        ("gzip", "baseline"),
+        ("gzip", "noop"),
+        ("mcf", "baseline"),
+        ("mcf", "noop"),
+    ]
+
+    def test_envelope_carries_the_clamped_band(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job(priority=7))
+        envelope = json.loads(queue.pending_path(fingerprint).read_text())
+        assert envelope["priority"] == 7
+        # Out-of-band values clamp instead of corrupting the schedule.
+        low = queue.enqueue(_job(technique="noop", priority=-3))
+        high = queue.enqueue(_job(benchmark="mcf", priority=99))
+        assert json.loads(queue.pending_path(low).read_text())["priority"] == 0
+        assert json.loads(queue.pending_path(high).read_text())["priority"] == 9
+
+    def test_default_band_is_zero(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        assert (
+            json.loads(queue.pending_path(fingerprint).read_text())["priority"]
+            == 0
+        )
+
+    def test_claims_come_out_in_band_order(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        bands = [0, 9, 3, 5]
+        expected: dict[str, int] = {}
+        for (benchmark, technique), band in zip(self.CELLS, bands):
+            fingerprint = queue.enqueue(
+                _job(benchmark=benchmark, technique=technique), priority=band
+            )
+            expected[fingerprint] = band
+        claimed_bands = []
+        while True:
+            claimed = queue.claim("w1")
+            if claimed is None:
+                break
+            claimed_bands.append(expected[claimed.fingerprint])
+        assert claimed_bands == [9, 5, 3, 0]
+
+    def test_band_order_holds_for_a_fresh_queue_object(self, tmp_path):
+        """A worker process that did not enqueue (empty priority memo)
+        must read the bands from the pending envelopes themselves."""
+        producer = WorkQueue(tmp_path, ttl=30)
+        bands = [2, 8, 0, 6]
+        expected = {}
+        for (benchmark, technique), band in zip(self.CELLS, bands):
+            fingerprint = producer.enqueue(
+                _job(benchmark=benchmark, technique=technique), priority=band
+            )
+            expected[fingerprint] = band
+        consumer = WorkQueue(tmp_path, ttl=30)
+        order = [
+            expected[claim.fingerprint]
+            for claim in consumer.claim_batch("w2", limit=4)
+        ]
+        assert order == [8, 6, 2, 0]
+
+    def test_priority_is_fixed_at_first_enqueue(self, tmp_path):
+        """A deduped re-submission at another band must not rewrite the
+        pending envelope: the republish could race the claim rename and
+        resurrect a just-leased job into double execution."""
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job(), priority=2)
+        queue.enqueue(_job(), priority=9)
+        envelope = json.loads(queue.pending_path(fingerprint).read_text())
+        assert envelope["priority"] == 2
+
+    def test_status_reports_pending_by_priority_band(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        for (benchmark, technique), band in zip(self.CELLS, [9, 9, 4, 0]):
+            queue.enqueue(
+                _job(benchmark=benchmark, technique=technique), priority=band
+            )
+        status = queue.status()
+        assert status["pending_by_priority"] == {"9": 2, "4": 1, "0": 1}
+        # Bands drain in order and the breakdown follows.
+        queue.claim("w1")
+        assert queue.status()["pending_by_priority"] == {"9": 1, "4": 1, "0": 1}
+
+    def test_retry_preserves_the_band(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job(max_attempts=3), priority=6)
+        claimed = queue.claim("w1")
+        assert queue.fail(claimed, "boom", "w1")  # retried, not poisoned
+        envelope = json.loads(queue.pending_path(fingerprint).read_text())
+        assert envelope["priority"] == 6
+        assert envelope["attempts"] == 1
+
+
+class TestHostStats:
+    """Per-host aggregation of the fleet's published worker counters."""
+
+    def test_publication_carries_the_host_tag(self, tmp_path):
+        import socket as socket_module
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        QueueWorker(queue, worker_id="w1", poll_interval=0.01)._publish_stats()
+        [stats_file] = [
+            p for p in queue.workers_dir.iterdir() if not p.name.startswith(".")
+        ]
+        payload = json.loads(stats_file.read_text())
+        assert payload["host"] == socket_module.gethostname()
+
+    def test_worker_stats_aggregates_per_host(self, tmp_path):
+        queue = WorkQueue(tmp_path, ttl=30)
+        for host, claimed, done in (
+            ("alpha", 3, 2),
+            ("alpha", 1, 1),
+            ("beta", 5, 5),
+        ):
+            name = f"{host}-{claimed}.json"
+            (queue.workers_dir / name).write_text(
+                json.dumps(
+                    {
+                        "format": 1,
+                        "worker": name,
+                        "host": host,
+                        "claimed": claimed,
+                        "claim_batches": 1,
+                        "jobs_done": done,
+                        "jobs_failed": 0,
+                        "gc_sweeps": 0,
+                    }
+                )
+            )
+        stats = queue.worker_stats()
+        assert stats["workers"] == 3
+        assert stats["claimed"] == 9
+        assert stats["hosts"]["alpha"] == {
+            "workers": 2,
+            "claimed": 4,
+            "jobs_done": 3,
+            "jobs_failed": 0,
+            "gc_sweeps": 0,
+        }
+        assert stats["hosts"]["beta"]["workers"] == 1
+        # Pre-host-tag files aggregate under the unknown-host bucket.
+        (queue.workers_dir / "legacy.json").write_text(
+            '{"format": 1, "claimed": 2, "claim_batches": 1}'
+        )
+        assert queue.worker_stats()["hosts"][""]["claimed"] == 2
+
+
+class TestCompletionCore:
+    """The shared event-driven completion core the driver waits on."""
+
+    def _complete(self, queue, fingerprint, cycles=1):
+        claimed = queue.claim("w1")
+        assert claimed is not None
+        queue.complete(claimed, {"stats": {"cycles": cycles}}, "w1")
+        return claimed
+
+    def test_wait_for_markers_returns_existing_markers(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        self._complete(queue, fingerprint)
+        with QueueEventCore(queue, poll_floor=0.01) as core:
+            markers = core.wait_for_markers([fingerprint])
+        assert markers[fingerprint]["payload"] == {"stats": {"cycles": 1}}
+
+    def test_assist_executes_the_job_itself(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        with QueueEventCore(queue, poll_floor=0.01, assist=True) as core:
+            markers = core.wait_for_markers([fingerprint])
+        assert "stats" in markers[fingerprint]["payload"]
+        assert core.assists_run == 1
+
+    def test_poisoned_job_raises_with_the_recorded_reason(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job(max_attempts=1))
+        claimed = queue.claim("w1")
+        assert not queue.fail(claimed, "synthetic failure", "w1")
+        with QueueEventCore(queue, poll_floor=0.01) as core:
+            with pytest.raises(RuntimeError, match="synthetic failure"):
+                core.wait_for_markers([fingerprint])
+
+    def test_stall_timeout_bounds_inactivity(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        core = QueueEventCore(
+            queue, poll_floor=0.01, poll_ceiling=0.02, stall_timeout=0.2
+        )
+        # Nobody serves the queue and assist is off: only the stall
+        # clock can end this wait.
+        with core, pytest.raises(TimeoutError, match="stalled"):
+            core.wait_for_markers([fingerprint])
+
+    def test_subscriptions_are_one_shot_and_counted(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        events = []
+        with QueueEventCore(queue, poll_floor=0.01) as core:
+            core.watch(fingerprint, events.append)
+            core.watch(fingerprint, events.append)
+            assert core.subscriber_count(fingerprint) == 2
+            assert core.watched() == {fingerprint}
+            self._complete(queue, fingerprint)
+            while not events:
+                core.step()
+        assert len(events) == 2  # both subscribers fired once
+        assert core.subscriber_count(fingerprint) == 0
+        assert all(event.kind == "done" for event in events)
+
+    def test_wake_interrupts_an_idle_wait_from_another_thread(self, tmp_path):
+        import threading
+
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        with QueueEventCore(queue, poll_floor=5.0, poll_ceiling=5.0) as core:
+            core.step()  # consume the immediate first scan
+            timer = threading.Timer(0.05, core.wake)
+            timer.start()
+            started = time.monotonic()
+            core.step()  # would block ~5s without the wake
+            assert time.monotonic() - started < 2.0
+            timer.join()

@@ -1,0 +1,513 @@
+"""End-to-end tests for the experiment service daemon.
+
+Covers the PR's acceptance gates: ≥ 8 concurrent clients whose
+overlapping grids collapse to one executed job per unique fingerprint
+(checked via the queue/service counters), priority-ordered claiming
+observed through the service path, admission-control rejections under
+overload, results bit-identical to ``ParallelSuiteRunner(
+backend="local")``, and a seeded chaos soak (torn writes, listing
+delays, mid-job worker death) that holds bit-identical results with a
+clean gc-swept tree.
+
+The daemon runs in a background thread per test (its event loop owns
+all service state, so tests interact only through sockets and — after
+``stop()`` — through counters).  ``assist=True`` makes the loop itself
+execute queued jobs, which keeps most tests single-process and fast;
+the worker-death test uses real subprocess workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.harness import ParallelSuiteRunner, RunConfig
+from repro.harness.cache import gc_cache_tree, stats_to_dict
+from repro.harness.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    WORKER_DEATH_EXIT_CODE,
+    installed,
+)
+from repro.harness.queue import WorkQueue, spawn_local_workers
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ExperimentService
+from repro.service.protocol import RequestError, validate_request
+
+BENCHMARKS = ("gzip", "mcf")
+TECHNIQUES = ("baseline", "noop")
+CONFIG_OVERRIDES = {"max_instructions": 2_500, "warmup_instructions": 500}
+TINY_CONFIG = RunConfig(
+    benchmarks=BENCHMARKS,
+    max_instructions=CONFIG_OVERRIDES["max_instructions"],
+    warmup_instructions=CONFIG_OVERRIDES["warmup_instructions"],
+)
+CELLS = len(BENCHMARKS) * len(TECHNIQUES)
+
+
+class _Daemon:
+    """A served ExperimentService on an ephemeral port, thread-backed."""
+
+    def __init__(self, cache_dir, **kwargs):
+        kwargs.setdefault("poll_floor", 0.01)
+        kwargs.setdefault("poll_ceiling", 0.1)
+        self.service = ExperimentService(cache_dir, **kwargs)
+        self.host, self.port = self.service.open()
+        self.thread = threading.Thread(
+            target=self.service.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def client(self, timeout=120.0) -> ServiceClient:
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    def __enter__(self) -> "_Daemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.service.stop()
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive()
+
+
+def _local_baseline(cache_dir) -> dict:
+    """The same grid through the batch driver's local backend."""
+    runner = ParallelSuiteRunner(
+        TINY_CONFIG, workers=1, cache_dir=str(cache_dir)
+    )
+    results = runner.run_suite(techniques=TECHNIQUES)
+    return {
+        key: stats_to_dict(result.stats) for key, result in results.items()
+    }
+
+
+def _cells_by_key(cells: list) -> dict:
+    return {
+        (cell["benchmark"], cell["technique"]): cell["stats"] for cell in cells
+    }
+
+
+# ----------------------------------------------------------------------
+# Protocol validation (the chokepoint itself)
+# ----------------------------------------------------------------------
+class TestValidateRequest:
+    def test_normalizes_a_grid_request(self):
+        normalized = validate_request(
+            {
+                "op": "grid",
+                "id": "r1",
+                "benchmarks": ["gzip", "mcf", "gzip"],
+                "techniques": ["baseline"],
+                "config": dict(CONFIG_OVERRIDES),
+                "priority": 4,
+            }
+        )
+        assert normalized["benchmarks"] == ["gzip", "mcf"]  # deduped, ordered
+        assert normalized["techniques"] == ["baseline"]
+        assert normalized["priority"] == 4
+        assert normalized["config"] == CONFIG_OVERRIDES
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            {"op": "explode"},
+            {"op": "grid", "benchmarks": [], "techniques": ["baseline"]},
+            {"op": "grid", "benchmarks": ["nope"], "techniques": ["baseline"]},
+            {"op": "simulate", "benchmark": "gzip", "technique": "nope"},
+            {
+                "op": "simulate",
+                "benchmark": "gzip",
+                "technique": "baseline",
+                "config": {"processor_config": {}},
+            },
+            {
+                "op": "simulate",
+                "benchmark": "gzip",
+                "technique": "baseline",
+                "config": {"max_instructions": -5},
+            },
+            {
+                "op": "simulate",
+                "benchmark": "gzip",
+                "technique": "baseline",
+                "config": {"max_instructions": 100, "warmup_instructions": 100},
+            },
+            {
+                "op": "simulate",
+                "benchmark": "gzip",
+                "technique": "baseline",
+                "priority": 99,
+            },
+            {
+                "op": "simulate",
+                "benchmark": "gzip",
+                "technique": "baseline",
+                "priority": "high",
+            },
+            {"op": "status", "version": 2},
+        ],
+    )
+    def test_rejects_malformed_payloads(self, payload):
+        with pytest.raises(RequestError):
+            validate_request(payload)
+
+
+# ----------------------------------------------------------------------
+# Single-client round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_simulate_streams_accept_progress_result(self, tmp_path):
+        with _Daemon(tmp_path, config=TINY_CONFIG, assist=True) as daemon:
+            with daemon.client() as client:
+                events = []
+                stats = client.simulate(
+                    "gzip", "baseline", on_event=events.append
+                )
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "accepted"
+        assert kinds[-1] == "result"
+        assert "progress" in kinds
+        assert stats["committed_instructions"] > 0
+
+    def test_identical_rerequest_is_a_cache_hit(self, tmp_path):
+        with _Daemon(tmp_path, config=TINY_CONFIG, assist=True) as daemon:
+            with daemon.client() as client:
+                first = client.simulate("gzip", "baseline")
+                events = []
+                second = client.simulate(
+                    "gzip", "baseline", on_event=events.append
+                )
+        assert first == second
+        accepted = next(e for e in events if e["event"] == "accepted")
+        assert accepted["cached"] == 1 and accepted["enqueued"] == 0
+        progress = next(e for e in events if e["event"] == "progress")
+        assert progress["source"] == "cache"
+
+    def test_invalid_requests_are_rejected_not_fatal(self, tmp_path):
+        with _Daemon(tmp_path, config=TINY_CONFIG, assist=True) as daemon:
+            with daemon.client() as client:
+                with pytest.raises(ServiceError, match="unknown"):
+                    client.request({"op": "grid", "benchmarks": ["nope"],
+                                    "techniques": ["baseline"]})
+                # The connection and the daemon both survive.
+                stats = client.simulate("gzip", "baseline")
+            assert daemon.service.requests_rejected == 1
+        assert stats["committed_instructions"] > 0
+
+    def test_results_bit_identical_to_local_backend(self, tmp_path):
+        baseline = _local_baseline(tmp_path / "local")
+        with _Daemon(
+            tmp_path / "service", config=TINY_CONFIG, assist=True
+        ) as daemon:
+            with daemon.client() as client:
+                cells = client.grid(
+                    BENCHMARKS, TECHNIQUES, config=CONFIG_OVERRIDES
+                )
+        assert _cells_by_key(cells) == baseline
+
+
+# ----------------------------------------------------------------------
+# Dedupe: N concurrent clients, one executed job per fingerprint
+# ----------------------------------------------------------------------
+class TestConcurrentDedupe:
+    CLIENTS = 8
+
+    def test_overlapping_grids_collapse_to_one_job_each(self, tmp_path):
+        with _Daemon(tmp_path, config=TINY_CONFIG, assist=True) as daemon:
+
+            def one_client(index: int) -> dict:
+                with daemon.client() as client:
+                    return _cells_by_key(
+                        client.grid(
+                            BENCHMARKS, TECHNIQUES, config=CONFIG_OVERRIDES
+                        )
+                    )
+
+            with ThreadPoolExecutor(max_workers=self.CLIENTS) as pool:
+                all_results = list(
+                    pool.map(one_client, range(self.CLIENTS))
+                )
+            service = daemon.service
+            queue = service.queue
+            # Every client got the full grid, and every grid agrees.
+            assert len(all_results) == self.CLIENTS
+            for result in all_results[1:]:
+                assert result == all_results[0]
+            # The collapse, by counter: the queue accepted exactly one
+            # envelope per unique fingerprint and produced exactly one
+            # marker each, no matter how many clients asked; every
+            # other cell resolved by subscription or from the cache.
+            assert queue.enqueued == CELLS
+            assert len(queue.list_done()) == CELLS
+            assert queue.list_poisoned() == set()
+            assert service.cells_enqueued == CELLS
+            assert (
+                service.cells_deduped + service.cells_cached
+                == self.CLIENTS * CELLS - CELLS
+            )
+
+    def test_inflight_subscriber_counts_in_status(self, tmp_path):
+        # No workers, no assist: jobs stay in flight while we look.
+        with _Daemon(tmp_path, config=TINY_CONFIG, assist=False) as daemon:
+            first = daemon.client()
+            second = daemon.client()
+            try:
+                for client in (first, second):
+                    client._send(
+                        {
+                            "op": "simulate",
+                            "id": "sub",
+                            "benchmark": "gzip",
+                            "technique": "baseline",
+                        }
+                    )
+                    accepted = client._read_event()
+                    assert accepted["event"] == "accepted"
+                assert accepted["deduped"] == 1  # the second subscription
+                with daemon.client() as probe:
+                    status = probe.status()
+                assert status["service"]["inflight"] == 1
+                assert status["service"]["inflight_subscribers"] == 2
+                assert status["queue"]["pending_by_priority"] == {"0": 1}
+            finally:
+                first.close()
+                second.close()
+
+
+# ----------------------------------------------------------------------
+# Priority bands through the service path
+# ----------------------------------------------------------------------
+class TestPriorityScheduling:
+    def test_service_requests_claim_in_band_order(self, tmp_path):
+        with _Daemon(tmp_path, config=TINY_CONFIG, assist=False) as daemon:
+            with daemon.client() as batch, daemon.client() as urgent:
+                batch._send(
+                    {
+                        "op": "grid",
+                        "id": "batch",
+                        "benchmarks": list(BENCHMARKS),
+                        "techniques": list(TECHNIQUES),
+                        "priority": 2,
+                    }
+                )
+                assert batch._read_event()["event"] == "accepted"
+                urgent._send(
+                    {
+                        "op": "simulate",
+                        "id": "urgent",
+                        "benchmark": "gzip",
+                        "technique": "abella",
+                        "priority": 9,
+                    }
+                )
+                assert urgent._read_event()["event"] == "accepted"
+                with daemon.client() as probe:
+                    status = probe.status()
+                assert status["queue"]["pending_by_priority"] == {
+                    "2": CELLS,
+                    "9": 1,
+                }
+                assert status["service"]["inflight_by_priority"] == {
+                    "2": CELLS,
+                    "9": 1,
+                }
+            # A fresh consumer (a worker on another host) claims the
+            # urgent band first, reading bands from the envelopes.
+            consumer = WorkQueue(tmp_path, ttl=30)
+            first_claim = consumer.claim("w-probe")
+            assert first_claim.envelope["priority"] == 9
+            assert first_claim.envelope["technique"] == "abella"
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_global_overload_rejects_whole_request(self, tmp_path):
+        with _Daemon(
+            tmp_path, config=TINY_CONFIG, assist=False, max_inflight=2
+        ) as daemon:
+            with daemon.client() as client:
+                with pytest.raises(ServiceError, match="overload"):
+                    client.grid(BENCHMARKS, TECHNIQUES)
+                # A request that fits is still admitted afterwards.
+                client._send(
+                    {
+                        "op": "simulate",
+                        "id": "fits",
+                        "benchmark": "gzip",
+                        "technique": "baseline",
+                    }
+                )
+                assert client._read_event()["event"] == "accepted"
+            assert daemon.service.requests_rejected == 1
+            assert daemon.service.requests_accepted == 1
+
+    def test_per_client_bound_rejects_the_greedy_client_only(self, tmp_path):
+        with _Daemon(
+            tmp_path,
+            config=TINY_CONFIG,
+            assist=False,
+            max_inflight=64,
+            max_inflight_per_client=3,
+        ) as daemon:
+            with daemon.client() as greedy, daemon.client() as modest:
+                with pytest.raises(ServiceError, match="overload"):
+                    greedy.grid(BENCHMARKS, TECHNIQUES)  # 4 > 3
+                modest._send(
+                    {
+                        "op": "grid",
+                        "id": "m",
+                        "benchmarks": list(BENCHMARKS),
+                        "techniques": ["baseline"],  # 2 <= 3
+                    }
+                )
+                assert modest._read_event()["event"] == "accepted"
+
+    def test_resolved_cells_release_admission_charges(self, tmp_path):
+        with _Daemon(
+            tmp_path, config=TINY_CONFIG, assist=True, max_inflight=CELLS
+        ) as daemon:
+            with daemon.client() as client:
+                # Exactly at the bound: admitted and served...
+                first = client.grid(
+                    BENCHMARKS, TECHNIQUES, config=CONFIG_OVERRIDES
+                )
+                # ...and once resolved the charges are gone, so the
+                # same load is admitted again (now all cache hits).
+                second = client.grid(
+                    BENCHMARKS, TECHNIQUES, config=CONFIG_OVERRIDES
+                )
+        assert _cells_by_key(first) == _cells_by_key(second)
+        assert daemon.service.requests_rejected == 0
+
+
+# ----------------------------------------------------------------------
+# Chaos soak over the service path
+# ----------------------------------------------------------------------
+SOAK_PLANS = tuple(
+    FaultPlan(seed=seed, rate=0.15, fire_limit=1, sleep_scale=0.05)
+    for seed in (11, 12, 13)
+)
+
+DOCUMENTED_QUEUE_DIRS = {"pending", "leases", "done", "poison", "workers"}
+
+
+def _service_grid(cache_dir, clients: int = 4) -> list:
+    """``clients`` concurrent clients, one shared daemon, same grid."""
+    with _Daemon(
+        cache_dir, config=TINY_CONFIG, assist=True, queue_ttl=30
+    ) as daemon:
+
+        def one_client(index: int) -> dict:
+            with daemon.client() as client:
+                return _cells_by_key(
+                    client.grid(BENCHMARKS, TECHNIQUES, config=CONFIG_OVERRIDES)
+                )
+
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            results = list(pool.map(one_client, range(clients)))
+        enqueued = daemon.service.queue.enqueued
+    return [results, enqueued]
+
+
+class TestChaosSoak:
+    def test_service_grid_bit_identical_under_fault_matrix(self, tmp_path):
+        baseline_results, _ = _service_grid(tmp_path / "fault-free")
+        assert len(baseline_results[0]) == CELLS
+
+        total_fired = 0
+        for plan in SOAK_PLANS:
+            cache_dir = tmp_path / f"seed{plan.seed}"
+            with installed(plan) as injector:
+                chaos_results, enqueued = _service_grid(cache_dir)
+                total_fired += injector.fired_total()
+            # Bit-identical per-cell statistics for every client.
+            for result in chaos_results:
+                assert result == baseline_results[0], (
+                    f"stats diverged under {plan.to_spec()}"
+                )
+            # Dedupe held under faults: one envelope per unique cell
+            # despite 4 clients, every job terminated, none poisoned.
+            queue = WorkQueue(cache_dir)
+            assert enqueued == CELLS
+            assert len(queue.list_done()) == CELLS
+            assert queue.list_poisoned() == set()
+            # Injected crashes may leave temp debris by design; the
+            # documented sweep must reclaim all of it.
+            gc_cache_tree(cache_dir, tmp_max_age_seconds=0.0)
+            queue_root = cache_dir / "queue"
+            assert sorted(p.name for p in queue_root.iterdir()) == sorted(
+                DOCUMENTED_QUEUE_DIRS
+            )
+            assert list((queue_root / "leases").iterdir()) == []
+            assert list((queue_root / "pending").iterdir()) == []
+            for path in cache_dir.rglob(".tmp-*"):
+                raise AssertionError(f"orphaned temp file survived: {path}")
+        # The matrix is only a gate if it injects somewhere.
+        assert total_fired >= 3, f"fault matrix only fired {total_fired}"
+
+    def test_mid_job_worker_death_recovers_through_the_service(self, tmp_path):
+        """A subprocess worker dies mid-job under a death-enabled plan;
+        the daemon's TTL sweep re-leases the orphan and a clean worker
+        finishes the grid — the client sees a complete, correct result
+        and the dead worker's exit code proves the death fired."""
+        baseline = _local_baseline(tmp_path / "local")
+        cache_dir = tmp_path / "service"
+        with _Daemon(
+            cache_dir, config=TINY_CONFIG, assist=False, queue_ttl=2
+        ) as daemon:
+            with daemon.client() as client:
+                with ThreadPoolExecutor(max_workers=1) as pool:
+                    future = pool.submit(
+                        client.grid,
+                        BENCHMARKS,
+                        TECHNIQUES,
+                        config=CONFIG_OVERRIDES,
+                    )
+                    # Wait until the request's jobs are actually queued.
+                    queue = WorkQueue(cache_dir, ttl=2)
+                    deadline = time.time() + 30
+                    while (
+                        queue.status()["pending"] == 0
+                        and time.time() < deadline
+                    ):
+                        time.sleep(0.05)
+                    assert queue.status()["pending"] > 0
+
+                    plan = FaultPlan(
+                        seed=1,
+                        rate=1.0,
+                        fire_limit=1,
+                        sites=("queue.worker-death",),
+                        worker_death=True,
+                    )
+                    os.environ[FAULT_PLAN_ENV] = plan.to_spec()
+                    try:
+                        [doomed] = spawn_local_workers(
+                            cache_dir, 1, ttl=2, poll_interval=0.05
+                        )
+                        doomed.wait(timeout=120)
+                    finally:
+                        os.environ.pop(FAULT_PLAN_ENV, None)
+                    assert doomed.returncode == WORKER_DEATH_EXIT_CODE
+
+                    # A clean worker (no plan in its environment) joins
+                    # the fleet and drains the queue, including the
+                    # re-leased orphan of the dead worker.
+                    [rescuer] = spawn_local_workers(
+                        cache_dir, 1, ttl=2, poll_interval=0.05, drain=True
+                    )
+                    try:
+                        cells = future.result(timeout=180)
+                    finally:
+                        rescuer.terminate()
+                        rescuer.wait(timeout=10)
+        assert _cells_by_key(cells) == baseline
