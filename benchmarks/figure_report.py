@@ -96,6 +96,54 @@ def print_cache_stats(runner) -> None:
         )
 
 
+def print_telemetry(cache_dir) -> None:
+    """Print the fleetscope ``--telemetry`` rollup for one cache tree.
+
+    Three planes over the shared directory: the span store (request
+    traces and the queue latency percentiles derived from completion
+    spans), the worker fleet's kernel-throughput probes with each host's
+    auto-picked engine, and a pointer at the perf-trajectory CLI for the
+    longitudinal view.
+    """
+    from repro.harness.queue import WorkQueue
+    from repro.telemetry import spans as tracing
+
+    latency = tracing.queue_latency_summary(cache_dir)
+    print(f"telemetry: {latency['spans']} span(s) under {cache_dir}/telemetry/spans")
+    for stage in ("enqueue_to_claim", "claim_to_done"):
+        summary = latency[stage]
+        if summary is None:
+            print(f"  {stage}: no completion spans recorded")
+        else:
+            print(
+                f"  {stage}: p50 {summary['p50'] * 1000:.1f}ms / "
+                f"p90 {summary['p90'] * 1000:.1f}ms / "
+                f"p99 {summary['p99'] * 1000:.1f}ms "
+                f"over {summary['count']} completion(s)"
+            )
+    traces = {
+        record["trace"]
+        for record in tracing.read_spans(cache_dir)
+        if record.get("trace")
+    }
+    print(f"  distinct traces: {len(traces)}")
+    fleet = WorkQueue(cache_dir).worker_stats()
+    for host in sorted(fleet["hosts"]):
+        per_host = fleet["hosts"][host]
+        probes = per_host.get("probes") or {}
+        preferred = per_host.get("preferred_engines") or []
+        if not probes and not preferred:
+            continue
+        rates = ", ".join(
+            f"{engine} {rate:,.0f} cyc/s" for engine, rate in sorted(probes.items())
+        )
+        print(
+            f"  host {host or '<untagged>'}: probes [{rates or 'none'}], "
+            f"preferred engine(s): {', '.join(preferred) or 'unprobed'}"
+        )
+    print("  trend: python -m repro.telemetry.trend (perf-trajectory gate)")
+
+
 def _shard_overlap(value: str):
     """argparse type for --shard-overlap: 'full' or an entry count."""
     if value == "full":
@@ -125,6 +173,13 @@ def main(argv: list[str] | None = None) -> None:
         "--cache-stats",
         action="store_true",
         help="print result-cache and trace-cache size/traffic reports",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="trace this run (REPRO_TELEMETRY semantics) and print the "
+        "fleetscope rollup: span counts, queue latency percentiles, "
+        "per-host kernel probes (needs --cache-dir)",
     )
     parser.add_argument(
         "--max-trace-bytes",
@@ -205,6 +260,18 @@ def main(argv: list[str] | None = None) -> None:
     from repro.harness import ParallelSuiteRunner, RunConfig, figures
     from repro.harness.reporting import overall_processor_savings
 
+    if args.telemetry:
+        if args.cache_dir is None:
+            parser.error("--telemetry needs --cache-dir (spans live in the tree)")
+        import os
+
+        from repro.telemetry import spans as tracing
+
+        # Export the switch so spawned queue workers self-install too,
+        # then enable in-process for the driver's own spans.
+        os.environ[tracing.ENV_VAR] = "1"
+        tracing.enable(args.cache_dir)
+
     if args.gc:
         from repro.harness.cache import format_gc_summary, gc_cache_tree
 
@@ -248,6 +315,8 @@ def main(argv: list[str] | None = None) -> None:
         )
     if args.cache_stats:
         print_cache_stats(runner)
+    if args.telemetry:
+        print_telemetry(runner.cache.directory)
 
     report("Figure 6 - IPC loss, NOOP technique", figures.figure6(runner))
     report("Figure 7 - issue-queue occupancy", figures.figure7(runner))

@@ -32,7 +32,9 @@ import pytest
 from repro.harness import ParallelSuiteRunner, RunConfig
 from repro.harness.faults import active_injector
 
-from test_perf_simulator import _record_trajectory
+from repro.telemetry import trend
+
+from test_perf_simulator import TRAJECTORY_FILE, _record_trajectory
 
 GRID_CONFIG = RunConfig(
     benchmarks=("gzip", "mcf"),
@@ -100,3 +102,14 @@ def test_queue_grid_wall_clock(benchmark, tmp_path, injection):
     # of the serial time; a protocol regression (e.g. a stuck lease
     # forcing a TTL wait) trips this long before it hurts real grids.
     assert queue_elapsed < max(30.0, 10.0 * local_elapsed)
+
+    # Perf-trajectory gate (PR 9): the wall clock just recorded must sit
+    # inside the MAD noise band of the queue grid's own history.
+    evaluation = trend.gate_series("queue_grid/seconds", TRAJECTORY_FILE)
+    assert evaluation is None or evaluation["regressed"] is not True, (
+        f"perf trajectory regression on queue_grid/seconds: "
+        f"latest {evaluation['latest']:,.2f}s vs median "
+        f"{evaluation['median']:,.2f}s "
+        f"(tolerance {evaluation['tolerance']:,.2f}); see "
+        f"python -m repro.telemetry.trend"
+    )

@@ -31,6 +31,8 @@ from repro.harness.queue import spawn_local_workers
 from repro.service.client import ServiceClient
 from repro.service.daemon import ExperimentService
 
+from repro.telemetry import trend
+
 from test_perf_simulator import TRAJECTORY_FILE, _record_trajectory
 
 GRID_CONFIG = RunConfig(
@@ -139,3 +141,14 @@ def test_service_grid_wall_clock(benchmark, tmp_path):
             f"service path ({service_elapsed:.2f}s) slower than the "
             f"sleep-poll era baseline ({poll_baseline:.2f}s median)"
         )
+
+    # Perf-trajectory gate (PR 9): the wall clock just recorded must sit
+    # inside the MAD noise band of the service grid's own history.
+    evaluation = trend.gate_series("service_grid/seconds", TRAJECTORY_FILE)
+    assert evaluation is None or evaluation["regressed"] is not True, (
+        f"perf trajectory regression on service_grid/seconds: "
+        f"latest {evaluation['latest']:,.2f}s vs median "
+        f"{evaluation['median']:,.2f}s "
+        f"(tolerance {evaluation['tolerance']:,.2f}); see "
+        f"python -m repro.telemetry.trend"
+    )

@@ -48,14 +48,16 @@ from __future__ import annotations
 
 import gc
 import json
+import socket
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.techniques import BaselinePolicy
+from repro.telemetry import trend
 from repro.uarch import simulate
-from repro.uarch.engine import numpy_available
+from repro.uarch.engine import numpy_available, resolve_engine_name
 from repro.uarch.trace import clear_trace_memo
 from repro.workloads import build_benchmark
 
@@ -78,10 +80,22 @@ ENGINES = ("scalar",) + (("columnar",) if numpy_available() else ())
 
 TRAJECTORY_FILE = Path(__file__).with_name("BENCH_trace.json")
 TRAJECTORY_LIMIT = 200
+#: Schema version of trajectory entries stamped since PR 9; older
+#: unstamped entries still parse (``repro.telemetry.trend`` defaults
+#: their engine/kind) — the stamp just makes provenance explicit.
+TRAJECTORY_FORMAT = 1
 
 
 def _record_trajectory(entry: dict) -> None:
-    """Append ``entry`` to the BENCH_trace.json perf history (bounded)."""
+    """Append ``entry`` to the BENCH_trace.json perf history (bounded).
+
+    Every entry is stamped with the schema ``format``, the recording
+    ``host`` and (unless the caller set one) the engine label, so a
+    trajectory merged across machines stays attributable.
+    """
+    entry.setdefault("format", TRAJECTORY_FORMAT)
+    entry.setdefault("host", socket.gethostname())
+    entry.setdefault("engine", resolve_engine_name(None))
     history: list[dict] = []
     try:
         history = json.loads(TRAJECTORY_FILE.read_text(encoding="utf-8"))
@@ -184,3 +198,16 @@ def test_simulator_cycle_throughput(benchmark, tmp_path, engine):
     assert cycles > 0
     assert cold_rate > floor
     assert warm_rate > floor
+
+    # Perf-trajectory gate (PR 9): beyond the absolute floors above, the
+    # sample just recorded must sit inside the MAD noise band of this
+    # engine's own history.  A too-short history gates as None, not fail.
+    for series_key in (f"engine/{engine}/cold", f"engine/{engine}/warm"):
+        evaluation = trend.gate_series(series_key, TRAJECTORY_FILE)
+        assert evaluation is None or evaluation["regressed"] is not True, (
+            f"perf trajectory regression on {series_key}: "
+            f"latest {evaluation['latest']:,.1f} vs median "
+            f"{evaluation['median']:,.1f} "
+            f"(tolerance {evaluation['tolerance']:,.1f}); see "
+            f"python -m repro.telemetry.trend"
+        )

@@ -61,6 +61,21 @@ def pytest_addoption(parser) -> None:
         "(python -m repro.analysis src/) in tests/test_analysis.py",
     )
 
+    # Opt-out for the fleetscope telemetry tests (tests/test_telemetry.py
+    # and the span/probe assertions elsewhere), mirroring --no-lint.
+    # Default ON: tracing is no-op-by-default on the hot path, so the
+    # telemetry tests enable it explicitly per test; --no-telemetry skips
+    # those tests and force-disables tracing for the whole session (for
+    # bisecting perf noise or running on a box where the span store's
+    # extra file IO is unwanted).
+    parser.addoption(
+        "--no-telemetry",
+        action="store_true",
+        default=False,
+        help="skip telemetry-marked tests and force-disable span tracing "
+        "for the session (REPRO_TELEMETRY=0)",
+    )
+
     parser.addoption(
         "--engine",
         choices=engines,
@@ -88,6 +103,19 @@ def pytest_addoption(parser) -> None:
 
 
 def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "telemetry: test exercises the fleetscope span/metrics/probe "
+        "plane (deselected by --no-telemetry)",
+    )
+    if config.getoption("--no-telemetry"):
+        # Environment, not a fixture, for the same subprocess reason as
+        # --engine: "0" pins install_from_env() to disabled in spawned
+        # queue workers and daemons too.
+        os.environ["REPRO_TELEMETRY"] = "0"
+        from repro.telemetry import spans as tracing
+
+        tracing.disable()
     engine = config.getoption("--engine")
     if engine:
         # Environment, not a fixture: the kernel must reach code that
@@ -103,6 +131,15 @@ def pytest_configure(config) -> None:
         plan = FaultPlan.from_spec(fault_spec)
         os.environ["REPRO_FAULT_PLAN"] = plan.to_spec()
         install(FaultInjector(plan))
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if not config.getoption("--no-telemetry"):
+        return
+    skip_marker = pytest.mark.skip(reason="--no-telemetry: telemetry plane opted out")
+    for item in items:
+        if "telemetry" in item.keywords:
+            item.add_marker(skip_marker)
 
 
 @pytest.fixture(scope="session")

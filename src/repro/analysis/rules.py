@@ -152,6 +152,7 @@ class AtomicIoRule(Rule):
         "repro/harness/completion.py",
         "repro/service/daemon.py",
         "repro/uarch/trace.py",
+        "repro/telemetry/spans.py",
     )
 
     WRITE_MODE_CHARS = set("wax+")
@@ -726,3 +727,112 @@ class RequestValidationRule(Rule):
                     "before validate_request(); validation must precede "
                     "the first queue/cache call",
                 )
+
+
+# ----------------------------------------------------------------------
+# 9. telemetry-purity — observability never shapes simulation identity
+# ----------------------------------------------------------------------
+@register_rule
+class TelemetryPurityRule(Rule):
+    """Telemetry stays off the replay hot path and out of cache keys.
+
+    The fleetscope layer (:mod:`repro.telemetry`) is an observer: spans,
+    metric counters and kernel-throughput probes describe a run, they
+    must never *change* one.  Two halves enforce that.  First,
+    ``repro/uarch/`` — the replay kernels' inner loops — may not import
+    any telemetry module: a span context manager or registry lookup in
+    the per-instruction path is both a perf tax and a bit-identity
+    hazard, so instrumentation stops at the harness layer (mirroring the
+    fault-machinery ban in ``retry-discipline``).  Second, functions
+    whose name contains ``fingerprint`` may not reference telemetry
+    vocabulary (``telemetry``/``trace_id``/``probe``/
+    ``cycles_per_second``/``metrics``): a probed throughput figure or
+    trace id in a cache key
+    would split bit-identical results across host-dependent keys,
+    exactly the duplication ``fingerprint-purity`` exists to prevent for
+    engines.
+    """
+
+    rule_id = "telemetry-purity"
+    contract = (
+        "repro/uarch/ never imports repro.telemetry (spans/metrics/probes "
+        "stay off the replay hot path); telemetry vocabulary never flows "
+        "into fingerprint construction (observations are not identity)"
+    )
+
+    IMPURE_TOKENS = ("telemetry", "trace_id", "probe", "cycles_per_second", "metrics")
+
+    def check(self, tree: ast.AST, path: str) -> Iterable[Finding]:
+        in_uarch = "repro/uarch/" in path
+        for node in ast.walk(tree):
+            if in_uarch and isinstance(node, (ast.Import, ast.ImportFrom)):
+                # import repro.telemetry / from repro.telemetry import
+                # spans / from repro.telemetry.spans import span all count.
+                module_names = [alias.name for alias in node.names]
+                if isinstance(node, ast.ImportFrom):
+                    module_names.append(node.module or "")
+                if any("telemetry" in name.split(".") for name in module_names):
+                    yield self.finding(
+                        node,
+                        path,
+                        "telemetry imported into the replay core; spans and "
+                        "metric registries stay at the harness layer so the "
+                        "per-instruction loop pays zero observability tax "
+                        "and stats remain bit-identical when tracing is on",
+                    )
+        for function in _walk_functions(tree):
+            if "fingerprint" not in function.name.lower():
+                continue
+            yield from self._check_fingerprint(function, path)
+
+    def _check_fingerprint(self, function: ast.AST, path: str) -> Iterator[Finding]:
+        body = function.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and _string_constant(body[0].value) is not None
+        ):
+            body = body[1:]  # prose may mention the contract by name
+        for arg in ast.walk(function):
+            if isinstance(arg, ast.arg) and self._impure(arg.arg):
+                yield self.finding(
+                    arg,
+                    path,
+                    f"fingerprint function {function.name!r} takes telemetry "
+                    f"parameter {arg.arg!r}; observations must not enter "
+                    "cache keys",
+                )
+        for statement in body:
+            for node in ast.walk(statement):
+                label: Optional[str] = None
+                if isinstance(node, ast.Name) and self._impure(node.id):
+                    label = node.id
+                elif isinstance(node, ast.Attribute) and self._impure(node.attr):
+                    label = node.attr
+                elif isinstance(node, ast.keyword) and node.arg and self._impure(node.arg):
+                    label = node.arg
+                elif isinstance(node, ast.Dict):
+                    for key in node.keys:
+                        text = _string_constant(key)
+                        if text is not None and self._impure(text):
+                            yield self.finding(
+                                key,
+                                path,
+                                f"dict key {text!r} inside fingerprint "
+                                f"function {function.name!r} injects a "
+                                "telemetry value into the cache key",
+                            )
+                    continue
+                if label is not None:
+                    yield self.finding(
+                        node,
+                        path,
+                        f"telemetry identifier {label!r} referenced inside "
+                        f"fingerprint function {function.name!r}; spans, "
+                        "probes and metric values are observations, not "
+                        "identity, and must not enter cache keys",
+                    )
+
+    def _impure(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(token in lowered for token in self.IMPURE_TOKENS)

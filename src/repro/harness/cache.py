@@ -60,6 +60,7 @@ from pathlib import Path
 from typing import Any, Optional
 
 from repro.atomicio import TMP_PREFIX, publish_atomically
+from repro.telemetry.metrics import MetricsRegistry, counter_property
 from repro.harness import faults
 from repro.uarch.stats import SimulationStats
 
@@ -189,7 +190,19 @@ class ResultCache:
         quarantined / memory_stores: degradation counters — corrupt
             entries moved aside, and stores that fell back to process
             memory because the directory stopped accepting writes.
+
+    The counters read and write as plain int attributes (the runner
+    folds worker deltas in with ``+=``) but live in the ``metrics``
+    registry (:class:`repro.telemetry.metrics.MetricsRegistry`), the
+    same snapshot shape every other fleet component reports through.
     """
+
+    hits = counter_property("hits")
+    misses = counter_property("misses")
+    stores = counter_property("stores")
+    evictions = counter_property("evictions")
+    quarantined = counter_property("quarantined")
+    memory_stores = counter_property("memory_stores")
 
     def __init__(
         self, directory: str | os.PathLike, max_entries: Optional[int] = None
@@ -198,12 +211,16 @@ class ResultCache:
             raise ValueError("max_entries must be a positive integer or None")
         self.directory = Path(directory)
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.evictions = 0
-        self.quarantined = 0
-        self.memory_stores = 0
+        self.metrics = MetricsRegistry("result_cache")
+        for name in (
+            "hits",
+            "misses",
+            "stores",
+            "evictions",
+            "quarantined",
+            "memory_stores",
+        ):
+            self.metrics.counter(name)
         # Degraded-mode fallback: entries that could not be persisted
         # (read-only or full directory) live here for this process's
         # lifetime so cache semantics survive the outage.
@@ -522,7 +539,9 @@ def gc_cache_tree(
     duplicate what the result cache already stores.  Quarantined corrupt
     entries (``quarantine/`` and ``traces/quarantine/``) expire on the
     same age bound: long enough to post-mortem, bounded so one bad disk
-    episode cannot grow the tree forever.
+    episode cannot grow the tree forever.  Stale telemetry span files
+    (``telemetry/spans/*.jsonl``, one per traced process) expire on the
+    marker bound too.
     """
     cache_dir = Path(cache_dir)
     summaries = [
@@ -577,6 +596,21 @@ def gc_cache_tree(
                     now=now,
                 )
             )
+    # Telemetry span files (telemetry/spans/<host>-<pid>.jsonl): pure
+    # observability residue from traced runs, swept on the same age
+    # bound as consumed completion markers so a fleet that traces
+    # continuously cannot grow the directory forever.
+    spans_dir = cache_dir / "telemetry" / "spans"
+    if spans_dir.is_dir():
+        summaries.append(
+            collect_garbage(
+                spans_dir,
+                pattern="*.jsonl",
+                entry_max_age_seconds=done_marker_max_age_seconds,
+                tmp_max_age_seconds=tmp_max_age_seconds,
+                now=now,
+            )
+        )
     return summaries
 
 

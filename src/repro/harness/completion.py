@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.harness import faults
+from repro.telemetry.metrics import MetricsRegistry, counter_property
 
 
 @dataclass(frozen=True)
@@ -82,8 +83,13 @@ class QueueEventCore:
             watch is outstanding (the driver's pitch-in behaviour; a
             service daemon that must stay responsive leaves it off and
             lets worker processes execute).
-        markers_seen / assists_run: this core's traffic counters.
+        markers_seen / assists_run: this core's traffic counters —
+            registry-backed (``metrics.snapshot()``) but readable as
+            plain ints like every other fleet counter.
     """
+
+    markers_seen = counter_property("markers_seen")
+    assists_run = counter_property("assists_run")
 
     def __init__(
         self,
@@ -104,8 +110,9 @@ class QueueEventCore:
         self.assist = assist
         self.worker_id = worker_id or "driver-" + _default_worker_id()
         self.stall_timeout = stall_timeout
-        self.markers_seen = 0
-        self.assists_run = 0
+        self.metrics = MetricsRegistry("completion")
+        for name in ("markers_seen", "assists_run"):
+            self.metrics.counter(name)
         self._watches: dict[str, list[Callable[[CompletionEvent], None]]] = {}
         self._interval = poll_floor
         self._next_scan = time.monotonic()  # first step scans immediately

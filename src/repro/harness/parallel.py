@@ -509,29 +509,44 @@ class ParallelSuiteRunner(SuiteRunner):
         so progress never depends on anyone else being alive.
         """
         from repro.harness.queue import WorkQueue, spawn_local_workers
+        from repro.telemetry import spans as tracing
 
+        # The driver is the trace root: with REPRO_TELEMETRY=1 it mints
+        # one request id here, every enqueue stamps it into the job
+        # envelope, and the claiming workers' spans carry it onward —
+        # one connected driver→enqueue→claim→replay→complete trace per
+        # batch.  Disabled (the default), both calls are no-ops and the
+        # envelopes carry no trace key at all.
+        tracing.install_from_env(self.cache.directory)
         queue = WorkQueue(self.cache.directory, ttl=self.queue_ttl)
-        fingerprints = [queue.enqueue(job) for job in jobs]
-        procs = (
-            spawn_local_workers(
-                self.cache.directory,
-                self.queue_workers,
-                ttl=self.queue_ttl,
-                poll_interval=self.queue_poll,
-            )
-            if self.queue_workers
-            else []
-        )
-        try:
-            markers = self._await_markers(queue, fingerprints)
-        finally:
-            for proc in procs:
-                proc.terminate()
-            for proc in procs:
+        with tracing.maybe_trace_scope():
+            with tracing.span(
+                "driver.grid",
+                cells=len(jobs),
+                backend="queue",
+                queue_workers=self.queue_workers,
+            ):
+                fingerprints = [queue.enqueue(job) for job in jobs]
+                procs = (
+                    spawn_local_workers(
+                        self.cache.directory,
+                        self.queue_workers,
+                        ttl=self.queue_ttl,
+                        poll_interval=self.queue_poll,
+                    )
+                    if self.queue_workers
+                    else []
+                )
                 try:
-                    proc.wait(timeout=10)
-                except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
-                    proc.kill()
+                    markers = self._await_markers(queue, fingerprints)
+                finally:
+                    for proc in procs:
+                        proc.terminate()
+                    for proc in procs:
+                        try:
+                            proc.wait(timeout=10)
+                        except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                            proc.kill()
         payloads = []
         for job, fingerprint in zip(jobs, fingerprints):
             marker = markers[fingerprint]

@@ -43,7 +43,13 @@ All queue state lives under ``<cache_dir>/queue/``::
   idempotence checks untouched), and is fixed at first enqueue: a
   deduped re-submission at a different band does **not** rewrite the
   pending envelope, because an atomic republish could resurrect a
-  just-claimed job and double-execute it.
+  just-claimed job and double-execute it.  Two more transport-only
+  stamps ride the envelope the same way: ``enqueued_at`` (wall-clock
+  publish time, which completion combines with the lease stamp into
+  the enqueue→claim / claim→done latencies ``--status`` reports) and,
+  when the producer runs with ``REPRO_TELEMETRY=1``, ``trace`` — the
+  request id that links the driver's spans to the claiming worker's
+  (see :mod:`repro.telemetry.spans` and docs/observability.md).
 * **Enqueue** — write the envelope to a ``.tmp-*`` file and
   ``os.replace`` it into ``pending/`` (the same atomicity discipline as
   ``ResultCache.store``).  Enqueueing is idempotent: a fingerprint that
@@ -129,6 +135,9 @@ from repro.harness.faults import (
     DEFAULT_RETRY_POLICY,
 )
 from repro.harness.parallel import SimulationJob, execute_job
+from repro.telemetry import spans as tracing
+from repro.telemetry.metrics import MetricsRegistry, counter_property
+from repro.uarch.engine import ENGINE_ENV_VAR, resolve_engine_name
 
 #: Bump when the envelope/marker layout changes; foreign-format files
 #: are poisoned (envelopes) or ignored (markers), never trusted.
@@ -210,7 +219,21 @@ class WorkQueue:
         ttl: seconds without a heartbeat before a lease counts as dead.
         enqueued / claimed / completed / requeued / claim_batches: this
             process's traffic counters (for tests and status reports).
+            Backed by the ``metrics`` registry
+            (:class:`repro.telemetry.metrics.MetricsRegistry`) so one
+            ``metrics.snapshot()`` renders them all; the attribute API
+            is unchanged.
     """
+
+    # This process's queue traffic, readable/writable as plain ints but
+    # stored in the metrics registry (one snapshot() shape fleet-wide).
+    enqueued = counter_property("enqueued")
+    claimed = counter_property("claimed")
+    completed = counter_property("completed")
+    requeued = counter_property("requeued")
+    retried = counter_property("retried")
+    poisoned = counter_property("poisoned")
+    claim_batches = counter_property("claim_batches")
 
     def __init__(self, cache_dir: str | os.PathLike, ttl: float = 60.0):
         if ttl <= 0:
@@ -234,19 +257,24 @@ class WorkQueue:
         ):
             directory.mkdir(parents=True, exist_ok=True)
         self.ttl = ttl
-        self.enqueued = 0
-        self.claimed = 0
-        self.completed = 0
-        self.requeued = 0
-        # Failure-path traffic: jobs pushed back to pending after a
-        # raised execution (retried) and jobs escalated to poison/
-        # after exhausting their budget or failing to decode.
-        self.retried = 0
-        self.poisoned = 0
-        # Directory listings that yielded at least one lease: together
-        # with ``claimed`` this gives the realised claim batch size
-        # (the per-job filesystem round-trip saving of batched claims).
-        self.claim_batches = 0
+        # One registry for this process's queue traffic.  The named
+        # counters pre-register so a snapshot taken before any traffic
+        # still shows every series at zero.  ``retried``/``poisoned``
+        # count failure-path traffic (jobs pushed back to pending after
+        # a raised execution; jobs escalated to poison/); together with
+        # ``claimed``, ``claim_batches`` (listings that yielded at
+        # least one lease) gives the realised claim batch size.
+        self.metrics = MetricsRegistry("queue")
+        for name in (
+            "enqueued",
+            "claimed",
+            "completed",
+            "requeued",
+            "retried",
+            "poisoned",
+            "claim_batches",
+        ):
+            self.metrics.counter(name)
         # Priority memo: fingerprint -> band, filled at enqueue (the
         # producer knows the band without a read) and lazily from
         # pending envelopes during claim ordering, so each worker
@@ -334,14 +362,29 @@ class WorkQueue:
             "attempts": 0,
             "max_attempts": int(max_attempts),
             "priority": band,
+            "enqueued_at": time.time(),
             "job": base64.b64encode(pickle.dumps(job)).decode("ascii"),
         }
-        DEFAULT_RETRY_POLICY.call(
-            lambda: _atomic_write_json(
-                self.pending_dir, self.pending_path(fingerprint), envelope
-            ),
-            key=f"enqueue/{fingerprint}",
-        )
+        # Trace propagation (transport, not identity — like priority,
+        # fixed at first enqueue and never part of the fingerprint): the
+        # producer's active trace id rides the envelope so the claiming
+        # worker's spans land under the same request id.
+        trace = tracing.current_trace()
+        if trace is not None:
+            envelope["trace"] = trace
+        with tracing.span(
+            "queue.enqueue",
+            fingerprint=fingerprint,
+            benchmark=envelope["benchmark"],
+            technique=envelope["technique"],
+            priority=band,
+        ):
+            DEFAULT_RETRY_POLICY.call(
+                lambda: _atomic_write_json(
+                    self.pending_dir, self.pending_path(fingerprint), envelope
+                ),
+                key=f"enqueue/{fingerprint}",
+            )
         self.enqueued += 1
         self._priority_memo[fingerprint] = band
         return fingerprint
@@ -406,7 +449,17 @@ class WorkQueue:
                 os.utime(lease)
             except OSError:  # pragma: no cover - reclaimed in the gap
                 continue
-            claimed = self._decode_lease(lease, worker_id)
+            with tracing.span("queue.claim", worker=worker_id) as claim_span:
+                claimed = self._decode_lease(lease, worker_id)
+                if claimed is not None:
+                    # The trace id lives in the envelope just decoded;
+                    # deliver it late so the claim span joins the
+                    # producer's request trace.
+                    claim_span.set(
+                        trace=claimed.envelope.get("trace"),
+                        fingerprint=claimed.fingerprint,
+                        priority=claimed.envelope.get("priority"),
+                    )
             if claimed is not None:
                 self.claimed += 1
                 claims.append(claimed)
@@ -611,16 +664,43 @@ class WorkQueue:
         }
         if error is not None:
             marker["error"] = error
+        # Lifecycle intervals from the envelope's transport stamps:
+        # enqueue→claim is backlog pressure (how long the job waited
+        # for a lease), claim→done is service time.  They ride the
+        # completion span so ``--status`` can report fleet latency
+        # percentiles from span files alone.
+        now = time.time()
+        enqueued_at = claimed.envelope.get("enqueued_at")
+        leased_at = claimed.envelope.get("leased_at")
+        wait = (
+            round(leased_at - enqueued_at, 6)
+            if isinstance(enqueued_at, (int, float))
+            and isinstance(leased_at, (int, float))
+            else None
+        )
+        service = (
+            round(now - leased_at, 6)
+            if isinstance(leased_at, (int, float))
+            else None
+        )
         # The marker is the driver's only completion signal: retried
         # under the shared policy so a transient ENOSPC/EIO (or an
         # injected crash-after-replace, which re-publishes
         # idempotently) never turns finished work into a lost job.
-        DEFAULT_RETRY_POLICY.call(
-            lambda: _atomic_write_json(
-                self.done_dir, self.done_path(claimed.fingerprint), marker
-            ),
-            key=f"complete/{claimed.fingerprint}",
-        )
+        with tracing.span(
+            "queue.complete",
+            trace=claimed.envelope.get("trace"),
+            fingerprint=claimed.fingerprint,
+            worker=worker_id,
+            enqueue_to_claim=wait,
+            claim_to_done=service,
+        ):
+            DEFAULT_RETRY_POLICY.call(
+                lambda: _atomic_write_json(
+                    self.done_dir, self.done_path(claimed.fingerprint), marker
+                ),
+                key=f"complete/{claimed.fingerprint}",
+            )
         self.completed += 1
         try:
             os.unlink(claimed.lease_path)
@@ -811,6 +891,17 @@ class WorkQueue:
             # batch — this is what a `--status` query from another
             # process or host actually observes.
             "workers": self.worker_stats(),
+            # Span-derived latency percentiles (enqueue→claim backlog
+            # pressure, claim→done service time) from the telemetry
+            # plane's published span files, plus this process's metrics
+            # registry in the one fleet-wide snapshot() shape.  The
+            # latency section is all-None until some producer ran with
+            # REPRO_TELEMETRY=1 — the queue itself works identically
+            # either way.
+            "telemetry": {
+                "metrics": self.metrics.snapshot(),
+                "latency": tracing.queue_latency_summary(self.cache_dir),
+            },
         }
 
     def worker_stats(self) -> dict:
@@ -847,6 +938,9 @@ class WorkQueue:
                 jobs_failed = int(payload.get("jobs_failed", 0))
                 gc_sweeps = int(payload.get("gc_sweeps", 0))
                 host = str(payload.get("host", ""))
+                probes = payload.get("probes")
+                probes = probes if isinstance(probes, dict) else {}
+                preferred = payload.get("preferred_engine")
             except (OSError, ValueError, TypeError, json.JSONDecodeError):
                 continue
             totals["workers"] += 1
@@ -863,6 +957,12 @@ class WorkQueue:
                     "jobs_done": 0,
                     "jobs_failed": 0,
                     "gc_sweeps": 0,
+                    # Per-kernel throughput on this host (best probe
+                    # seen across its workers) and the kernels those
+                    # workers resolved to — the heterogeneous-placement
+                    # view of the fleet.
+                    "probes": {},
+                    "preferred_engines": [],
                 },
             )
             per_host["workers"] += 1
@@ -870,6 +970,17 @@ class WorkQueue:
             per_host["jobs_done"] += jobs_done
             per_host["jobs_failed"] += jobs_failed
             per_host["gc_sweeps"] += gc_sweeps
+            for engine, rate in sorted(probes.items()):
+                if isinstance(rate, (int, float)):
+                    best = per_host["probes"].get(engine)
+                    if best is None or rate > best:
+                        per_host["probes"][str(engine)] = float(rate)
+            if (
+                isinstance(preferred, str)
+                and preferred not in per_host["preferred_engines"]
+            ):
+                per_host["preferred_engines"].append(preferred)
+                per_host["preferred_engines"].sort()
         totals["mean_batch_size"] = (
             round(totals["claimed"] / totals["claim_batches"], 2)
             if totals["claim_batches"]
@@ -924,7 +1035,20 @@ def _execute_and_complete(
     # that goes stale — the TTL re-lease path under test.
     faults.maybe_die(claimed.fingerprint)
     try:
-        payload = execute_queue_job(claimed)
+        # The replay span records which engine actually executed the
+        # job: an unpinned job (engine=None) resolves through
+        # REPRO_REPLAY_KERNEL at simulate() time, which the probe may
+        # have pointed at this host's fastest kernel.
+        with tracing.span(
+            "worker.replay",
+            trace=claimed.envelope.get("trace"),
+            fingerprint=claimed.fingerprint,
+            benchmark=claimed.envelope.get("benchmark", ""),
+            technique=claimed.envelope.get("technique", ""),
+            worker=worker_id,
+            engine=resolve_engine_name(getattr(claimed.job, "engine", None)),
+        ):
+            payload = execute_queue_job(claimed)
     # Job execution runs arbitrary simulation code; the contract is
     # retry-then-poison for *any* failure so the driver surfaces it
     # instead of waiting forever.
@@ -1026,6 +1150,19 @@ class QueueWorker:
             in lockstep, and the first sweep lands at a random fraction
             of the period to desynchronise hosts started together.
         gc_sweeps: sweeps this worker has run (tests, exit summary).
+        probe_interval: per-kernel throughput probe refresh period in
+            seconds (None/0 disables probing).  When enabled the worker
+            calibrates every registered replay engine at startup and on
+            a jittered refresh (:mod:`repro.telemetry.probes`),
+            publishes the measured ``cycles_per_second`` per kernel in
+            its stats file, and — unless the operator pinned
+            ``REPRO_REPLAY_KERNEL`` — makes the fastest kernel this
+            process's engine default, so unpinned claimed jobs execute
+            on the host's best kernel.  Bit-identity is untouched:
+            engines never enter fingerprints, so a result replayed on
+            any kernel is a cache hit for every other.
+        probes: last calibration, ``{engine: cycles_per_second}``.
+        preferred_engine: fastest probed engine (None before a probe).
     """
 
     #: Upper jitter fraction applied to each worker's gc period.
@@ -1041,6 +1178,7 @@ class QueueWorker:
         drain_grace: float = 1.0,
         claim_batch: int = 1,
         gc_interval: Optional[float] = None,
+        probe_interval: Optional[float] = None,
     ):
         if claim_batch < 1:
             raise ValueError("claim_batch must be a positive integer")
@@ -1060,6 +1198,16 @@ class QueueWorker:
             if self.gc_interval
             else None
         )
+        self.probe_interval = probe_interval or None
+        self.probes: dict[str, float] = {}
+        self.preferred_engine: Optional[str] = None
+        # An operator pin (REPRO_REPLAY_KERNEL in the environment, e.g.
+        # exported by --engine on the CLIs) always outranks the probe;
+        # decide once at startup so this worker's own auto-pick export
+        # is never mistaken for a pin when the probe refreshes.
+        self._engine_pinned = ENGINE_ENV_VAR in os.environ
+        # 0.0 sentinel: probe immediately on the first run() iteration.
+        self._next_probe = 0.0 if self.probe_interval else None
 
     def _publish_stats(self) -> None:
         """Publish this worker's counters to ``queue/workers/<id>.json``.
@@ -1081,6 +1229,11 @@ class QueueWorker:
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
             "gc_sweeps": self.gc_sweeps,
+            # Heterogeneous-fleet placement data: the last calibration's
+            # cycles/second per replay engine and the kernel this worker
+            # resolved to — empty/None until a probe runs.
+            "probes": self.probes,
+            "preferred_engine": self.preferred_engine,
             "updated_at": time.time(),
         }
         # The id is operator-supplied (--worker-id) and becomes a file
@@ -1138,10 +1291,49 @@ class QueueWorker:
             1.0, 1.0 + self.GC_JITTER
         )
 
+    def _maybe_probe(self, now: float) -> None:
+        """Calibrate per-kernel throughput when the probe period lapses.
+
+        Runs the short seeded replay of :mod:`repro.telemetry.probes`
+        for every registered engine, publishes the rates into this
+        worker's stats file, and points ``REPRO_REPLAY_KERNEL`` at the
+        fastest kernel (skipped when the operator pinned one), so
+        subsequently claimed unpinned jobs execute on it.  The refresh
+        is jittered like the gc sweep so a fleet doesn't calibrate in
+        lockstep.  A probe must never take the worker down — it runs
+        real simulation code, so any failure just skips this refresh.
+        """
+        if self._next_probe is None or now < self._next_probe:
+            return
+        from repro.telemetry import probes as kernel_probes
+
+        try:
+            rates = kernel_probes.calibrate_engines()
+        # Calibration runs arbitrary engine code (and a kernel may be
+        # broken on exactly this host); a failed probe costs placement
+        # data, never the worker.
+        # repro: allow[exception-hygiene] unbounded engine-code surface
+        except Exception:
+            rates = {}
+        if rates:
+            self.probes = rates
+            fastest = kernel_probes.fastest_engine(rates)
+            self.preferred_engine = fastest
+            if fastest is not None and not self._engine_pinned:
+                os.environ[ENGINE_ENV_VAR] = fastest
+            self._publish_stats()
+        self._next_probe = now + self.probe_interval * random.uniform(
+            1.0, 1.0 + self.GC_JITTER
+        )
+
     def run(self) -> int:
         """Serve the queue; returns the number of jobs executed."""
         queue = self.queue
         idle_since: Optional[float] = None
+        if self._next_probe is not None:
+            # Startup calibration, before the first claim: placement
+            # should be right from job one, not from the first idle gap.
+            self._maybe_probe(time.time())
         while True:
             if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                 break
@@ -1160,6 +1352,7 @@ class QueueWorker:
                 else:
                     idle_since = None
                 self._maybe_gc(now)
+                self._maybe_probe(now)
                 faults.sleep(self.poll_interval)
                 continue
             idle_since = None
@@ -1181,6 +1374,7 @@ def spawn_local_workers(
     drain: bool = False,
     claim_batch: Optional[int] = None,
     gc_interval: Optional[float] = None,
+    probe_interval: Optional[float] = None,
 ):
     """Start ``count`` worker subprocesses against ``cache_dir``.
 
@@ -1217,6 +1411,10 @@ def spawn_local_workers(
     # daemon default; these spawned workers are ephemeral batch hands,
     # not long-lived hosts.
     command.extend(["--gc-interval", str(gc_interval if gc_interval else 0)])
+    # Same explicit-0 rationale as --gc-interval: spawned workers are
+    # ephemeral batch hands and should not spend their first half-second
+    # calibrating kernels unless the caller opts in.
+    command.extend(["--probe-interval", str(probe_interval if probe_interval else 0)])
     return [subprocess.Popen(command, env=env) for _ in range(count)]
 
 
@@ -1264,6 +1462,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         "worker so shared caches aren't swept in lockstep (0 disables)",
     )
     parser.add_argument(
+        "--probe-interval",
+        type=float,
+        default=3600.0,
+        help="per-kernel throughput probe refresh period in seconds, "
+        "jittered per worker (0 disables).  The worker calibrates every "
+        "registered replay engine at startup and each refresh, publishes "
+        "cycles/second per kernel into queue/workers/, and executes "
+        "unpinned jobs on the fastest kernel (REPRO_REPLAY_KERNEL, when "
+        "set, always wins)",
+    )
+    parser.add_argument(
         "--status",
         action="store_true",
         help="print queue status as JSON and exit; the 'workers' section "
@@ -1275,6 +1484,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     # A driver running a chaos plan exports REPRO_FAULT_PLAN; spawned
     # workers self-install here so the whole fleet shares one schedule.
     faults.install_from_env()
+    # Likewise REPRO_TELEMETRY: a driver tracing a run exports it, and
+    # every worker publishes spans into the shared cache directory so
+    # the request trace connects across processes and hosts.
+    tracing.install_from_env(args.cache_dir)
     queue = WorkQueue(args.cache_dir, ttl=args.ttl)
     if args.status:
         print(json.dumps(queue.status(), indent=2))
@@ -1288,6 +1501,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         drain_grace=args.drain_grace,
         claim_batch=args.claim_batch,
         gc_interval=args.gc_interval,
+        probe_interval=args.probe_interval,
     )
     done = worker.run()
     print(

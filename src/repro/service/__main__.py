@@ -8,6 +8,7 @@ from typing import Optional
 
 from repro.harness import faults
 from repro.service.daemon import ExperimentService
+from repro.telemetry import spans as tracing
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -53,6 +54,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     # A chaos soak exports REPRO_FAULT_PLAN; the daemon self-installs so
     # its queue/cache touchpoints share the fleet's fault schedule.
     faults.install_from_env()
+    # Likewise REPRO_TELEMETRY: a traced daemon publishes its enqueue
+    # spans (per-request trace ids) into the shared cache directory.
+    tracing.install_from_env(args.cache_dir)
     service = ExperimentService(
         args.cache_dir,
         host=args.host,

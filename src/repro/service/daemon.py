@@ -62,6 +62,8 @@ from repro.harness.parallel import SimulationJob
 from repro.harness.queue import WorkQueue, _default_worker_id
 from repro.service import protocol
 from repro.service.protocol import RequestError, validate_request
+from repro.telemetry import spans as tracing
+from repro.telemetry.metrics import MetricsRegistry, counter_property
 
 #: Disconnect a client whose unread event backlog exceeds this many
 #: bytes — a reader that never drains would otherwise grow the daemon's
@@ -175,8 +177,16 @@ class ExperimentService:
             bounds on unresolved work (unique fingerprints globally,
             (fingerprint, request) charges per client).
         requests_accepted / requests_rejected / cells_deduped /
-            cells_cached / cells_enqueued: service traffic counters.
+            cells_cached / cells_enqueued: service traffic counters —
+            registry-backed (one ``metrics.snapshot()`` shape across
+            the fleet) but readable as plain ints.
     """
+
+    requests_accepted = counter_property("requests_accepted")
+    requests_rejected = counter_property("requests_rejected")
+    cells_deduped = counter_property("cells_deduped")
+    cells_cached = counter_property("cells_cached")
+    cells_enqueued = counter_property("cells_enqueued")
 
     def __init__(
         self,
@@ -208,11 +218,15 @@ class ExperimentService:
         self.max_inflight = max_inflight
         self.max_inflight_per_client = max_inflight_per_client
         self.queue_max_attempts = queue_max_attempts
-        self.requests_accepted = 0
-        self.requests_rejected = 0
-        self.cells_deduped = 0
-        self.cells_cached = 0
-        self.cells_enqueued = 0
+        self.metrics = MetricsRegistry("service")
+        for name in (
+            "requests_accepted",
+            "requests_rejected",
+            "cells_deduped",
+            "cells_cached",
+            "cells_enqueued",
+        ):
+            self.metrics.counter(name)
         self._inflight: dict[str, _Inflight] = {}
         self._connections: set[_Connection] = set()
         self._listener: Optional[socket.socket] = None
@@ -368,10 +382,21 @@ class ExperimentService:
             band = str(entry.priority)
             inflight_by_priority[band] = inflight_by_priority.get(band, 0) + 1
             subscribers += len(entry.requests)
+        # Point-in-time load lives in registry gauges (refreshed here,
+        # the only place they're read) so the counters *and* gauges ride
+        # one metrics.snapshot(); the legacy top-level keys and the
+        # "counters" dict keep their exact shape for older clients.
+        self.metrics.gauge("inflight").set(len(self._inflight))
+        self.metrics.gauge("inflight_subscribers").set(subscribers)
+        self.metrics.gauge("connections").set(len(self._connections))
         connection.send(
             {
                 "event": "status",
                 "id": normalized["id"],
+                # queue.status() carries the queue's own telemetry
+                # section (metrics snapshot + span-derived enqueue→claim
+                # / claim→done latency percentiles), so the service
+                # status op surfaces fleet latency without new plumbing.
                 "queue": self.queue.status(),
                 "service": {
                     "inflight": len(self._inflight),
@@ -385,6 +410,7 @@ class ExperimentService:
                         "cells_deduped": self.cells_deduped,
                         "cells_enqueued": self.cells_enqueued,
                     },
+                    "metrics": self.metrics.snapshot(),
                 },
             }
         )
@@ -459,12 +485,19 @@ class ExperimentService:
         self.cells_enqueued += len(enqueue)
         for fingerprint in subscribe:
             self._inflight[fingerprint].requests.append(request)
-        for fingerprint in enqueue:
-            self.queue.enqueue(jobs[fingerprint], priority=priority)
-            self._inflight[fingerprint] = _Inflight(
-                priority=priority, requests=[request]
-            )
-            self.core.watch(fingerprint, self._on_completion)
+        # When the daemon runs traced (REPRO_TELEMETRY=1), each admitted
+        # request enqueues under its own trace scope keyed by the
+        # protocol request id, so a client can find *its* spans across
+        # the worker fleet.  Untraced, this is the shared no-op.
+        with tracing.maybe_trace_scope(
+            f"svc-{normalized['id']}" if enqueue else None
+        ):
+            for fingerprint in enqueue:
+                self.queue.enqueue(jobs[fingerprint], priority=priority)
+                self._inflight[fingerprint] = _Inflight(
+                    priority=priority, requests=[request]
+                )
+                self.core.watch(fingerprint, self._on_completion)
         connection.inflight += charges
         connection.send(
             {

@@ -1,0 +1,93 @@
+"""Per-kernel throughput probes for heterogeneous-fleet placement.
+
+Every registered replay engine (:mod:`repro.uarch.engine`) is
+bit-identical — statistics, fingerprints, and cached results are shared
+between kernels — so the *only* defensible reason to pick one kernel
+over another on a given host is measured throughput (the Mitrion-C
+lesson from PAPERS.md: heterogeneous placement needs per-kernel
+numbers, not folklore).  This module runs a short seeded calibration
+replay per available engine and reports ``cycles_per_second`` for each,
+so a queue worker can:
+
+* publish the probe next to its counters in ``queue/workers/<id>.json``
+  (fleet-visible: ``--status`` and the service ``status`` op show which
+  host runs which kernel at what rate), and
+* export the fastest kernel as its engine default, so claimed jobs that
+  pin no engine (``job.engine is None`` resolves through
+  ``REPRO_REPLAY_KERNEL``) execute on the host's best kernel — with
+  bit-identity untouched, since engines never enter fingerprints.
+
+An explicit operator pin always wins: if ``REPRO_REPLAY_KERNEL`` is
+already set (or the worker was given ``--engine``), the probe still
+measures and publishes, but never overrides the pin.
+
+The calibration workload is deliberately tiny (a few thousand gzip
+instructions, one warm-up round) so a worker is probing for well under
+a second per kernel at startup and on the jittered refresh.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Calibration workload: small enough to finish in well under a second
+#: per kernel, large enough that the per-cycle replay loop dominates.
+PROBE_BENCHMARK = "gzip"
+PROBE_INSTRUCTIONS = 4_000
+PROBE_WARMUP_ROUNDS = 1
+
+
+def calibrate_engines(
+    benchmark: str = PROBE_BENCHMARK,
+    max_instructions: int = PROBE_INSTRUCTIONS,
+    engines=None,
+) -> dict[str, float]:
+    """Measure warm replay throughput per engine on this host.
+
+    Returns ``{engine_name: cycles_per_second}`` for every engine that
+    actually ran; engines whose optional dependency is missing (the
+    columnar kernel without numpy) are skipped, not failed — a probe
+    must never take a worker down.  The timed round replays a memoised
+    decoded trace, so the number is the steady-state (warm) rate a grid
+    run would see.
+    """
+    # Heavy imports stay local so `import repro.telemetry.probes` (and
+    # transitively the queue CLI) stays cheap until a probe actually runs.
+    from repro.techniques import BaselinePolicy
+    from repro.uarch import simulate
+    from repro.uarch.engine import ColumnarUnavailableError, available_engines
+    from repro.workloads import build_benchmark
+
+    if engines is None:
+        engines = available_engines()
+    rates: dict[str, float] = {}
+    for engine in engines:
+        try:
+            program = build_benchmark(benchmark)
+            for _ in range(PROBE_WARMUP_ROUNDS):
+                simulate(
+                    program,
+                    BaselinePolicy(),
+                    max_instructions=max_instructions,
+                    engine=engine,
+                )
+            start = time.perf_counter()
+            stats = simulate(
+                program,
+                BaselinePolicy(),
+                max_instructions=max_instructions,
+                engine=engine,
+            )
+            elapsed = time.perf_counter() - start
+        except ColumnarUnavailableError:
+            continue
+        if elapsed > 0.0 and stats.cycles > 0:
+            rates[engine] = round(stats.cycles / elapsed, 1)
+    return rates
+
+
+def fastest_engine(rates: dict[str, float]) -> str | None:
+    """The highest-throughput probed engine (stable on ties), or None."""
+    if not rates:
+        return None
+    return max(sorted(rates), key=lambda engine: rates[engine])

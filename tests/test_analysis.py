@@ -57,6 +57,7 @@ def test_registry_ships_at_least_six_rules_with_unique_ids():
         "optional-deps",
         "retry-discipline",
         "request-validation",
+        "telemetry-purity",
     } <= set(ids)
     for rule in rules:
         assert rule.contract  # --list-rules has something to show
@@ -496,6 +497,57 @@ def test_request_validation_silent_outside_handlers_and_service():
         lint_snippet(unvalidated_handler, "repro/service/protocol.py").findings
         == []
     )
+
+
+# ----------------------------------------------------------------------
+# Rule 9: telemetry-purity (observability stays out of uarch and keys)
+# ----------------------------------------------------------------------
+def test_telemetry_purity_fires_on_telemetry_import_under_uarch():
+    for line in (
+        "from repro.telemetry import spans\n",
+        "from repro.telemetry.spans import span\n",
+        "import repro.telemetry\n",
+        "from repro import telemetry\n",
+    ):
+        result = lint_snippet(line, "repro/uarch/pipeline.py")
+        assert rule_ids(result.findings) == {"telemetry-purity"}, line
+
+
+def test_telemetry_purity_import_allowed_outside_uarch():
+    line = "from repro.telemetry import spans as tracing\n"
+    assert lint_snippet(line, "repro/harness/queue.py").findings == []
+
+
+def test_telemetry_purity_fires_on_telemetry_values_in_fingerprints():
+    probe_rate = """
+    def simulation_fingerprint(traits, cycles_per_second):
+        return hash((traits, cycles_per_second))
+    """
+    result = lint_snippet(probe_rate, "repro/harness/cache.py")
+    assert "telemetry-purity" in rule_ids(result.findings)
+
+    trace_key = """
+    def job_fingerprint(job):
+        payload = {"benchmark": job.benchmark, "trace_id": job.trace_id}
+        return digest(payload)
+    """
+    result = lint_snippet(trace_key, "repro/harness/queue.py")
+    assert "telemetry-purity" in rule_ids(result.findings)
+
+
+def test_telemetry_purity_silent_on_clean_fingerprints_and_elsewhere():
+    clean = """
+    def simulation_fingerprint(traits, technique, max_instructions):
+        return digest({"traits": traits, "technique": technique})
+    """
+    assert lint_snippet(clean, "repro/harness/cache.py").findings == []
+    # The vocabulary only binds fingerprint functions: a worker reading
+    # its probe table is exactly what the telemetry plane is for.
+    elsewhere = """
+    def publish_stats(self):
+        return {"probes": self.probes, "telemetry": True}
+    """
+    assert lint_snippet(elsewhere, "repro/harness/queue.py").findings == []
 
 
 # ----------------------------------------------------------------------

@@ -123,3 +123,79 @@ def test_publish_replaces_existing_content_atomically(tmp_path):
     publish_atomically(destination, lambda handle: handle.write("two"))
     assert destination.read_text(encoding="utf-8") == "two"
     assert tmp_orphans(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# The span writer (PR 9) lives under the same discipline
+# ----------------------------------------------------------------------
+KILLED_SPAN_WRITER_SCRIPT = """
+import os, signal, sys
+from repro.telemetry import spans
+
+_real_publish = spans.publish_atomically
+
+def dying_publish(destination, write):
+    def write_then_die(handle):
+        write(handle)
+        handle.flush()
+        os.kill(os.getpid(), signal.SIGKILL)
+    _real_publish(destination, write_then_die)
+
+# Die inside the recorder's publish call, after the payload is written
+# to the temp file but before the rename commits it.
+spans.enable(sys.argv[1])
+spans.publish_atomically = dying_publish
+with spans.span("queue.enqueue", trace="t1", fingerprint="f1"):
+    pass
+"""
+
+
+def test_killed_span_writer_leaves_only_a_sweepable_tmp_orphan(tmp_path):
+    """A worker SIGKILLed mid-span-publish obeys the orphan contract.
+
+    The span recorder is a shared-cache-tree writer (it is listed in
+    ``AtomicIoRule.SCOPED_MODULES``), so the same guarantee applies: no
+    torn ``.jsonl`` ever becomes visible, and the debris is a
+    ``.tmp-*`` file that ``cache gc`` sweeps by age.
+    """
+    from repro.telemetry.spans import spans_directory
+
+    src_root = str(Path(next(iter(repro.__path__))).parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    process = subprocess.run(
+        [sys.executable, "-c", KILLED_SPAN_WRITER_SCRIPT, str(tmp_path)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert process.returncode == -signal.SIGKILL, process.stderr
+
+    spans_dir = spans_directory(tmp_path)
+    # Never a torn final file: the only .jsonl present is the TMP_PREFIX
+    # debris (temp files keep the destination suffix for os.replace).
+    finals = [
+        path
+        for path in spans_dir.glob("*.jsonl")
+        if not path.name.startswith(TMP_PREFIX)
+    ]
+    assert finals == []
+    from repro.telemetry.spans import read_spans
+
+    assert read_spans(tmp_path) == []  # readers skip in-flight debris too
+    (orphan,) = tmp_orphans(spans_dir)
+    assert "queue.enqueue" in orphan.read_text(encoding="utf-8")
+
+    # The sweep that covers consumed markers covers span debris too.
+    summaries = gc_cache_tree(tmp_path, tmp_max_age_seconds=0.0)
+    assert any(s["tmp_removed"] for s in summaries)
+    assert tmp_orphans(spans_dir) == []
+
+
+def test_span_writer_is_scoped_under_the_atomic_io_rule():
+    from repro.analysis.rules import AtomicIoRule
+
+    rule = AtomicIoRule()
+    assert rule.applies_to("src/repro/telemetry/spans.py")

@@ -764,6 +764,8 @@ class TestHostStats:
             "jobs_done": 3,
             "jobs_failed": 0,
             "gc_sweeps": 0,
+            "probes": {},
+            "preferred_engines": [],
         }
         assert stats["hosts"]["beta"]["workers"] == 1
         # Pre-host-tag files aggregate under the unknown-host bucket.
@@ -858,3 +860,55 @@ class TestCompletionCore:
             core.step()  # would block ~5s without the wake
             assert time.monotonic() - started < 2.0
             timer.join()
+
+    def test_idle_scans_back_off_floor_to_ceiling(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        with QueueEventCore(queue, poll_floor=0.01, poll_ceiling=0.05) as core:
+            core.watch(fingerprint, lambda event: None)
+            assert core._interval == core.poll_floor
+            # Nobody serves the queue: each unproductive scan doubles the
+            # interval until it saturates at the ceiling, never beyond.
+            observed = []
+            for _ in range(6):
+                assert core._scan() is False
+                observed.append(core._interval)
+            assert observed[0] == pytest.approx(0.02)
+            assert observed[1] == pytest.approx(0.04)
+            assert all(value <= core.poll_ceiling for value in observed)
+            assert observed[-1] == pytest.approx(core.poll_ceiling)
+
+    def test_progress_resets_the_backed_off_interval(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        fingerprint = queue.enqueue(_job())
+        with QueueEventCore(queue, poll_floor=0.01, poll_ceiling=0.08) as core:
+            events = []
+            core.watch(fingerprint, events.append)
+            for _ in range(5):
+                core._scan()  # idle: back off toward the ceiling
+            assert core._interval > core.poll_floor
+            self._complete(queue, fingerprint)
+            assert core._scan() is True  # the marker lands: progress
+            assert events and events[0].kind == "done"
+            assert core._interval == core.poll_floor
+            assert core.markers_seen == 1
+
+    def test_new_watch_resets_a_backed_off_interval(self, tmp_path):
+        from repro.harness.completion import QueueEventCore
+
+        queue = WorkQueue(tmp_path, ttl=30)
+        first = queue.enqueue(_job())
+        with QueueEventCore(queue, poll_floor=0.01, poll_ceiling=0.08) as core:
+            core.watch(first, lambda event: None)
+            for _ in range(5):
+                core._scan()
+            assert core._interval == pytest.approx(core.poll_ceiling)
+            # A fresh subscriber must not inherit the idle backoff: its
+            # marker may already exist and deserves a floor-rate scan.
+            second = queue.enqueue(_job(technique="noop"))
+            core.watch(second, lambda event: None)
+            assert core._interval == core.poll_floor
