@@ -15,7 +15,10 @@ whole stack — direct ``simulate`` calls, suite runners, pool workers and
 queue worker subprocesses — inherits one kernel; replay statistics are
 bit-identical between kernels, so tier-1 results must not change with
 this option (that invariance is itself under test in
-``tests/test_engines.py``).
+``tests/test_engines.py``).  Selecting a kernel whose toolchain is
+absent on this host (``--engine native`` without a C compiler,
+``--engine columnar`` without numpy) skips the session cleanly rather
+than erroring.
 """
 
 from __future__ import annotations
@@ -134,12 +137,34 @@ def pytest_configure(config) -> None:
 
 
 def pytest_collection_modifyitems(config, items) -> None:
-    if not config.getoption("--no-telemetry"):
-        return
-    skip_marker = pytest.mark.skip(reason="--no-telemetry: telemetry plane opted out")
-    for item in items:
-        if "telemetry" in item.keywords:
-            item.add_marker(skip_marker)
+    if config.getoption("--no-telemetry"):
+        skip_marker = pytest.mark.skip(
+            reason="--no-telemetry: telemetry plane opted out"
+        )
+        for item in items:
+            if "telemetry" in item.keywords:
+                item.add_marker(skip_marker)
+
+    # ``--engine`` with a registered-but-unavailable kernel (native
+    # without a C toolchain, columnar without numpy) skips the session
+    # cleanly instead of erroring out of every simulation — mirroring how
+    # the JaCe/hpy conftests treat an absent optional backend.  The
+    # availability probe is the engine's own unavailable_reason() seam,
+    # so a future kernel gets this behaviour for free.
+    engine = config.getoption("--engine")
+    if engine:
+        try:
+            from repro.uarch.engine import get_engine
+
+            reason = get_engine(engine).unavailable_reason()
+        except ImportError:
+            reason = None
+        if reason is not None:
+            skip_marker = pytest.mark.skip(
+                reason=f"--engine {engine} unavailable on this host: {reason}"
+            )
+            for item in items:
+                item.add_marker(skip_marker)
 
 
 @pytest.fixture(scope="session")

@@ -2,7 +2,7 @@
 
 This file enables the legacy `pip install -e .` code path on environments
 whose setuptools cannot build PEP 660 editable wheels, declares the
-optional dependency of the columnar replay engine, and lists the
+optional extras of the columnar and native replay engines, and lists the
 package tree (``repro`` is a namespace package, so discovery must be
 explicit) including the :mod:`repro.analysis` static checker and its
 ``repro-lint`` console entry point.
@@ -38,5 +38,15 @@ setup(
         # REPRO_REPLAY_KERNEL=columnar) lowers trace windows into numpy
         # structured arrays; everything else runs without it.
         "columnar": ["numpy>=1.22"],
+        # The native replay kernel (engine="native",
+        # REPRO_REPLAY_KERNEL=native) compiles its per-cycle loop as a C
+        # extension, lazily, on first use.  Its dependency is a host
+        # *toolchain* (a C compiler plus the Python development
+        # headers), not a Python package, so the extra is an empty
+        # marker: installing it documents intent, and hosts without the
+        # toolchain get a NativeUnavailableError naming this extra only
+        # when the native kernel is actually selected (see
+        # ``repro.uarch.engine.native``).
+        "native": [],
     },
 )

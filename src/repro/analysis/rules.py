@@ -496,30 +496,58 @@ class ExceptionHygieneRule(Rule):
 # ----------------------------------------------------------------------
 @register_rule
 class OptionalDependencyRule(Rule):
-    """``numpy`` only in ``engine/columnar.py`` or behind a guard.
+    """Each optional dependency stays inside its kernel's home module.
 
     The scalar engine — and with it the whole tier-1 suite — must run on
-    a bare Python toolchain; numpy is the ``columnar`` setup.py extra.
-    A top-level unguarded ``import numpy`` anywhere else turns a
-    missing extra into an ``ImportError`` at callsite depth instead of
-    the deliberate ``ColumnarUnavailableError``.  Imports are fine
-    inside ``engine/columnar.py``, inside a function body (deferred),
-    or inside ``try``/``except ImportError`` (guarded).
+    a bare Python toolchain; every accelerated kernel's dependency is a
+    setup.py extra with exactly one home: numpy belongs to the columnar
+    kernel (``engine/columnar.py``), and the compiled backend's
+    artefacts (the built ``_native_replay`` module, or a numba/Cython
+    toolchain should a second backend adopt one) belong to
+    ``engine/native.py`` plus its ``engine/build.py`` compiler harness.
+    A top-level unguarded import anywhere else turns a missing extra
+    into an ``ImportError`` at callsite depth instead of the deliberate
+    named ``*UnavailableError``.  Imports are fine inside the module's
+    listed home(s), inside a function body (deferred), or inside
+    ``try``/``except ImportError`` (guarded).
     """
 
     rule_id = "optional-deps"
     contract = (
-        "numpy may only be imported in repro/uarch/engine/columnar.py or "
-        "behind a guarded/deferred import; the scalar path is stdlib-only"
+        "optional dependencies only in their kernel's home module (numpy → "
+        "engine/columnar.py; compiled-backend artefacts → engine/native.py "
+        "+ engine/build.py) or behind a guarded/deferred import; the "
+        "scalar path is stdlib-only"
     )
 
-    OPTIONAL_MODULES = ("numpy",)
-    ALLOWED_SUFFIX = "repro/uarch/engine/columnar.py"
+    #: Optional import root → the module suffixes allowed to import it
+    #: at top level, unguarded.  A new optional backend adds one entry.
+    SCOPED_IMPORTS: dict[str, tuple[str, ...]] = {
+        "numpy": ("repro/uarch/engine/columnar.py",),
+        "_native_replay": (
+            "repro/uarch/engine/native.py",
+            "repro/uarch/engine/build.py",
+        ),
+        "numba": (
+            "repro/uarch/engine/native.py",
+            "repro/uarch/engine/build.py",
+        ),
+        "Cython": (
+            "repro/uarch/engine/native.py",
+            "repro/uarch/engine/build.py",
+        ),
+        "cython": (
+            "repro/uarch/engine/native.py",
+            "repro/uarch/engine/build.py",
+        ),
+        "pyximport": (
+            "repro/uarch/engine/native.py",
+            "repro/uarch/engine/build.py",
+        ),
+    }
     GUARD_EXCEPTIONS = ("ImportError", "ModuleNotFoundError", "Exception")
 
     def check(self, tree: ast.AST, path: str) -> Iterable[Finding]:
-        if path.endswith(self.ALLOWED_SUFFIX):
-            return
         yield from self._visit(tree, path, guarded=False)
 
     def _visit(self, node: ast.AST, path: str, guarded: bool) -> Iterator[Finding]:
@@ -531,15 +559,20 @@ class OptionalDependencyRule(Rule):
                 child_guarded = True
             if isinstance(child, (ast.Import, ast.ImportFrom)) and not guarded:
                 for module in self._imported_roots(child):
-                    if module in self.OPTIONAL_MODULES:
-                        yield self.finding(
-                            child,
-                            path,
-                            f"unguarded import of optional dependency "
-                            f"{module!r}; only repro/uarch/engine/columnar.py "
-                            "may import it directly — elsewhere guard with "
-                            "try/except ImportError or defer into a function",
-                        )
+                    homes = self.SCOPED_IMPORTS.get(module)
+                    if homes is None:
+                        continue
+                    if any(path.endswith(home) for home in homes):
+                        continue
+                    allowed = " or ".join(homes)
+                    yield self.finding(
+                        child,
+                        path,
+                        f"unguarded import of optional dependency "
+                        f"{module!r}; only {allowed} may import it "
+                        "directly — elsewhere guard with try/except "
+                        "ImportError or defer into a function",
+                    )
             yield from self._visit(child, path, child_guarded)
 
     def _imported_roots(self, node: ast.AST) -> list[str]:

@@ -46,16 +46,19 @@ def calibrate_engines(
 
     Returns ``{engine_name: cycles_per_second}`` for every engine that
     actually ran; engines whose optional dependency is missing (the
-    columnar kernel without numpy) are skipped, not failed — a probe
-    must never take a worker down.  The timed round replays a memoised
-    decoded trace, so the number is the steady-state (warm) rate a grid
-    run would see.
+    columnar kernel without numpy, the native kernel without a C
+    toolchain) are skipped, not failed — a probe must never take a
+    worker down.  Unavailability is one exception type for all kernels
+    (:class:`~repro.uarch.engine.base.EngineUnavailableError`), so a
+    future kernel's probe degrades the same way without edits here.
+    The timed round replays a memoised decoded trace, so the number is
+    the steady-state (warm) rate a grid run would see.
     """
     # Heavy imports stay local so `import repro.telemetry.probes` (and
     # transitively the queue CLI) stays cheap until a probe actually runs.
     from repro.techniques import BaselinePolicy
     from repro.uarch import simulate
-    from repro.uarch.engine import ColumnarUnavailableError, available_engines
+    from repro.uarch.engine import EngineUnavailableError, available_engines
     from repro.workloads import build_benchmark
 
     if engines is None:
@@ -79,7 +82,7 @@ def calibrate_engines(
                 engine=engine,
             )
             elapsed = time.perf_counter() - start
-        except ColumnarUnavailableError:
+        except EngineUnavailableError:
             continue
         if elapsed > 0.0 and stats.cycles > 0:
             rates[engine] = round(stats.cycles / elapsed, 1)

@@ -3,25 +3,32 @@
 The simulator separates *what* a cycle does from *how* a kernel executes
 it: :class:`~repro.uarch.engine.base.ReplayEngine` is the contract
 (``run`` over a trace window stream, plus the ``run_span``
-freeze-at-commit entry window sharding stitches), and two kernels
+freeze-at-commit entry window sharding stitches), and three kernels
 implement it —
 
 * :class:`~repro.uarch.engine.scalar.ScalarEngine` (``"scalar"``): the
   pure-Python reference loop, behaviour frozen;
 * :class:`~repro.uarch.engine.columnar.ColumnarEngine` (``"columnar"``):
   trace windows lowered into numpy structured arrays with batched
-  tag-vector writeback and mask-based ready-set updates.
+  tag-vector writeback and mask-based ready-set updates;
+* :class:`~repro.uarch.engine.native.NativeEngine` (``"native"``): the
+  per-cycle loop as a C extension, compiled lazily on first use by
+  :mod:`repro.uarch.engine.build` and skipped cleanly on hosts without
+  a toolchain (:class:`~repro.uarch.engine.native.NativeUnavailableError`).
 
 Statistics are **bit-identical** between kernels for every technique at
 every window size, so the engine choice is pure transport: it is
 selectable per call (``engine=``), per process (``REPRO_REPLAY_KERNEL``)
 and per run (``figure_report.py --engine``, ``pytest --engine``), and it
-never participates in result-cache fingerprints.
+never participates in result-cache fingerprints.  The catalogue —
+contract, measured throughput, and how to add a kernel — is
+``docs/engines.md``.
 """
 
 from repro.uarch.engine.base import (
     DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
+    EngineUnavailableError,
     ReplayEngine,
     available_engines,
     get_engine,
@@ -35,10 +42,18 @@ from repro.uarch.engine.columnar import (
     ColumnarUnavailableError,
     numpy_available,
 )
+from repro.uarch.engine.native import (
+    NativeCore,
+    NativeEngine,
+    NativeUnavailableError,
+    native_available,
+    native_unavailable_reason,
+)
 
 __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_ENV_VAR",
+    "EngineUnavailableError",
     "ReplayEngine",
     "available_engines",
     "get_engine",
@@ -50,4 +65,9 @@ __all__ = [
     "ColumnarEngine",
     "ColumnarUnavailableError",
     "numpy_available",
+    "NativeCore",
+    "NativeEngine",
+    "NativeUnavailableError",
+    "native_available",
+    "native_unavailable_reason",
 ]

@@ -41,6 +41,18 @@ ENGINE_ENV_VAR = "REPRO_REPLAY_KERNEL"
 DEFAULT_ENGINE = "scalar"
 
 
+class EngineUnavailableError(RuntimeError):
+    """A registered kernel was selected but cannot run on this host.
+
+    Every optional kernel raises its own named subclass
+    (``ColumnarUnavailableError`` when numpy is missing,
+    ``NativeUnavailableError`` when the C toolchain is) so callsites can
+    be specific, while fleet plumbing that degrades gracefully — the
+    telemetry probes, the worker calibration pass — catches this base
+    class once instead of enumerating kernels.
+    """
+
+
 class ReplayEngine(abc.ABC):
     """One execution kernel for the per-cycle replay loop.
 
@@ -52,6 +64,17 @@ class ReplayEngine(abc.ABC):
 
     #: Registry key and the name reported by tools (``--engine`` values).
     name: str = "abstract"
+
+    def unavailable_reason(self) -> Optional[str]:
+        """Why this kernel cannot run on this host, or ``None`` if it can.
+
+        Registration is unconditional (the registry answers "what kernels
+        exist", not "what runs here"); optional kernels override this so
+        callers — the pytest ``--engine`` plumbing, the telemetry probes —
+        can skip or degrade *before* :meth:`build_core` raises the
+        kernel's named ``*UnavailableError``.
+        """
+        return None
 
     @abc.abstractmethod
     def build_core(

@@ -60,11 +60,15 @@ try:  # Optional dependency: the scalar engine must work without it.
 except ImportError:  # pragma: no cover - exercised via _require_numpy tests
     _np = None
 
-from repro.uarch.engine.base import ReplayEngine, register_engine
+from repro.uarch.engine.base import (
+    EngineUnavailableError,
+    ReplayEngine,
+    register_engine,
+)
 from repro.uarch.engine.scalar import COMPLETED, OutOfOrderCore
 
 
-class ColumnarUnavailableError(RuntimeError):
+class ColumnarUnavailableError(EngineUnavailableError):
     """The columnar kernel was selected but numpy is not installed."""
 
 
@@ -352,6 +356,11 @@ class ColumnarEngine(ReplayEngine):
     """The numpy structured-array kernel (``engine="columnar"``)."""
 
     name = "columnar"
+
+    def unavailable_reason(self) -> Optional[str]:
+        if _np is None:
+            return "numpy is not installed (the 'columnar' install extra)"
+        return None
 
     def build_core(
         self,

@@ -376,6 +376,43 @@ def test_optional_deps_silent_when_guarded_deferred_or_in_columnar():
     )
 
 
+def test_optional_deps_fires_on_compiled_backend_imports_outside_native():
+    """The compiled kernel's artefacts (the built extension module, or a
+    numba/Cython toolchain) are scoped to engine/native.py + its build
+    helper, exactly as numpy is scoped to columnar.py."""
+    for module in ("_native_replay", "numba", "Cython", "pyximport"):
+        result = lint_snippet(f"import {module}\n", "repro/harness/mod.py")
+        assert rule_ids(result.findings) == {"optional-deps"}, module
+    result = lint_snippet(
+        "from numba import njit\n", "repro/uarch/engine/columnar.py"
+    )
+    assert rule_ids(result.findings) == {"optional-deps"}  # wrong home
+
+
+def test_optional_deps_silent_for_compiled_backend_in_its_home_modules():
+    for path in (
+        "repro/uarch/engine/native.py",
+        "repro/uarch/engine/build.py",
+    ):
+        assert lint_snippet("import _native_replay\n", path).findings == []
+        assert lint_snippet("import numba\n", path).findings == []
+    # numpy's home does not transfer to the compiled backend's modules...
+    result = lint_snippet("import numpy\n", "repro/uarch/engine/native.py")
+    assert rule_ids(result.findings) == {"optional-deps"}
+    # ...and guarded/deferred imports stay legal anywhere.
+    guarded = """
+    try:
+        import numba
+    except ImportError:
+        numba = None
+
+    def lazily():
+        import _native_replay
+        return _native_replay
+    """
+    assert lint_snippet(guarded, "repro/harness/mod.py").findings == []
+
+
 # ----------------------------------------------------------------------
 # Rule 7: retry-discipline (sleep ownership + uarch isolation)
 # ----------------------------------------------------------------------

@@ -30,9 +30,19 @@ from repro.uarch import available_engines, get_engine, resolve_engine_name, simu
 from repro.uarch.core import simulate_span
 from repro.uarch.engine import base as engine_base
 from repro.uarch.engine import columnar as columnar_module
+from repro.uarch.engine import native as native_module
+from repro.uarch.engine.base import EngineUnavailableError
 from repro.uarch.engine.columnar import ColumnarUnavailableError
+from repro.uarch.engine.native import NativeUnavailableError
 from repro.uarch.engine.scalar import OutOfOrderCore
 from repro.workloads import build_benchmark
+
+#: The native kernel needs a C toolchain; hosts without one skip its
+#: equivalence matrix but still run the availability-guard tests.
+needs_native = pytest.mark.skipif(
+    not native_module.native_available(),
+    reason=f"native kernel unavailable: {native_module.native_unavailable_reason()}",
+)
 
 BENCHMARK = "gzip"
 BUDGET = 2_500
@@ -75,8 +85,10 @@ def _run(technique: str, engine: str, window: int, warmup: int = WARMUP):
 
 
 class TestEngineSelection:
-    def test_both_kernels_are_registered(self):
-        assert set(available_engines()) >= {"scalar", "columnar"}
+    def test_all_kernels_are_registered(self):
+        # Registration is unconditional; availability is a separate,
+        # per-host question answered at build_core time.
+        assert set(available_engines()) >= {"scalar", "columnar", "native"}
 
     def test_default_is_scalar(self, monkeypatch):
         monkeypatch.delenv(engine_base.ENGINE_ENV_VAR, raising=False)
@@ -161,6 +173,75 @@ class TestEngineEquivalence:
             assert _stats_bytes(stitched) == _stats_bytes(sequential)
 
 
+@needs_native
+class TestNativeEquivalence:
+    """Scalar vs native (compiled C) bit-identity — the same matrix the
+    columnar kernel passes, plus the C loop's own boundary cases."""
+
+    @pytest.mark.parametrize("technique", TECHNIQUES)
+    @pytest.mark.parametrize("window", (1, 7, 4096))
+    def test_bit_identical_across_techniques_and_windows(self, technique, window):
+        scalar = _run(technique, "scalar", window)
+        native = _run(technique, "native", window)
+        assert _stats_bytes(scalar) == _stats_bytes(native)
+
+    @pytest.mark.parametrize("warmup", (0, 1, WARMUP, BUDGET // 2))
+    def test_bit_identical_across_warmup_boundaries(self, warmup):
+        """The C kernel replaces the scalar rebase walk with an absolute
+        clock and a base flip; every reported cycle and every in-flight
+        event must still agree wherever the boundary falls."""
+        scalar = _run("abella", "scalar", 640, warmup=warmup)
+        native = _run("abella", "native", 640, warmup=warmup)
+        assert _stats_bytes(scalar) == _stats_bytes(native)
+
+    @pytest.mark.parametrize("technique", ("baseline", "abella", "improved"))
+    def test_measure_span_freeze_is_bit_identical(self, technique):
+        kwargs = dict(
+            max_instructions=BUDGET,
+            first_entry=0,
+            last_entry=2_000,
+            warmup_commits=300,
+            measure_commits=700,
+            trace_window=512,
+        )
+        program = _program_for(technique)
+        scalar = simulate_span(
+            program, make_policy(technique, _CONFIG), engine="scalar", **kwargs
+        )
+        native = simulate_span(
+            program, make_policy(technique, _CONFIG), engine="native", **kwargs
+        )
+        assert _stats_bytes(scalar) == _stats_bytes(native)
+
+    def test_native_shard_stitch_matches_sequential(self):
+        sequential = _run("abella", "native", 640)
+        stitched = run_sharded(
+            BENCHMARK,
+            "abella",
+            _CONFIG,
+            span_entries=800,
+            overlap="full",
+            trace_window=640,
+            engine="native",
+        )
+        assert _stats_bytes(stitched) == _stats_bytes(sequential)
+
+    def test_empty_trace_runs(self):
+        from repro.uarch.trace import DecodedTrace
+
+        scalar = get_engine("scalar").run(DecodedTrace())
+        native = get_engine("native").run(DecodedTrace())
+        assert _stats_bytes(scalar) == _stats_bytes(native)
+
+    def test_max_cycles_budget_is_respected(self):
+        from repro.uarch.trace import get_decoded_trace
+
+        trace = get_decoded_trace(_program_for("baseline"), 2_000)
+        scalar = get_engine("scalar").run(trace, max_cycles=123)
+        native = get_engine("native").run(trace, max_cycles=123)
+        assert _stats_bytes(scalar) == _stats_bytes(native)
+
+
 class TestColumnarWindowLowering:
     def test_structured_array_round_trips_the_window(self):
         """The lazy record-array lowering must agree with the source
@@ -190,7 +271,7 @@ class TestFingerprintInvariance:
     def test_simulation_job_fingerprint_ignores_the_engine(self):
         jobs = [
             SimulationJob(BENCHMARK, "baseline", _CONFIG, engine=engine)
-            for engine in (None, "scalar", "columnar")
+            for engine in (None, "scalar", "columnar", "native")
         ]
         assert len({job.fingerprint() for job in jobs}) == 1
 
@@ -213,9 +294,29 @@ class TestFingerprintInvariance:
                 cell_fingerprint="cell",
                 engine=engine,
             )
-            for engine in (None, "scalar", "columnar")
+            for engine in (None, "scalar", "columnar", "native")
         ]
         assert len({job.fingerprint() for job in jobs}) == 1
+
+    @needs_native
+    def test_grid_cached_under_scalar_is_pure_hit_under_native(self, tmp_path):
+        """The ISSUE's acceptance criterion verbatim: a grid simulated
+        and cached under the scalar kernel replays as a pure cache hit
+        under the native one — zero simulations run."""
+        config = RunConfig(
+            max_instructions=1_500, warmup_instructions=200, benchmarks=(BENCHMARK,)
+        )
+        first = ParallelSuiteRunner(
+            config, workers=1, cache_dir=str(tmp_path), engine="scalar"
+        )
+        first.run_suite(techniques=("baseline", "abella"))
+        assert first.simulations_run == 2
+        second = ParallelSuiteRunner(
+            config, workers=1, cache_dir=str(tmp_path), engine="native"
+        )
+        results = second.run_suite(techniques=("baseline", "abella"))
+        assert second.simulations_run == 0  # engine-invariant fingerprints
+        assert set(results) == {(BENCHMARK, "baseline"), (BENCHMARK, "abella")}
 
     def test_grid_cached_under_one_kernel_is_hit_under_the_other(self, tmp_path):
         config = RunConfig(
@@ -263,3 +364,56 @@ class TestColumnarAvailabilityGuard:
             engine="scalar",
         )
         assert stats.committed_instructions > 0
+
+
+class TestNativeAvailabilityGuard:
+    """The degraded path: no C toolchain must mean one named error."""
+
+    @pytest.fixture()
+    def no_toolchain(self, monkeypatch):
+        """Simulate a host without a C compiler, whatever this one has."""
+        monkeypatch.setattr(native_module, "_MODULE", None)
+        monkeypatch.setattr(
+            native_module._COMPILER,
+            "unavailable_reason",
+            lambda: "no C compiler (cc/gcc/$CC) on PATH",
+        )
+
+    def test_missing_toolchain_raises_a_clear_error(self, no_toolchain):
+        assert not native_module.native_available()
+        with pytest.raises(NativeUnavailableError) as excinfo:
+            get_engine("native").build_core([])
+        message = str(excinfo.value)
+        assert "native" in message  # names the install extra
+        assert "scalar" in message  # and the fallback kernel
+        assert "C compiler" in message  # and the actual missing piece
+
+    def test_simulate_surfaces_the_guard_not_a_build_error(self, no_toolchain):
+        with pytest.raises(NativeUnavailableError):
+            simulate(
+                _program_for("baseline"),
+                make_policy("baseline", _CONFIG),
+                max_instructions=200,
+                engine="native",
+            )
+
+    def test_unavailable_errors_share_the_engine_base_class(self):
+        """Fleet plumbing (probes, worker calibration) degrades on one
+        exception type instead of enumerating kernels."""
+        assert issubclass(NativeUnavailableError, EngineUnavailableError)
+        assert issubclass(ColumnarUnavailableError, EngineUnavailableError)
+
+    def test_compile_failure_is_wrapped_into_the_named_error(self, monkeypatch, tmp_path):
+        """A *broken* toolchain (compile error), not a missing one, must
+        surface as the same named error — never a raw build traceback."""
+        from repro.uarch.engine.build import ExtensionCompiler
+
+        bad_source = tmp_path / "broken.c"
+        bad_source.write_text("this is not C\n")
+        compiler = ExtensionCompiler(str(bad_source), "_native_replay")
+        monkeypatch.setattr(native_module, "_MODULE", None)
+        monkeypatch.setattr(native_module, "_COMPILER", compiler)
+        if compiler.unavailable_reason() is not None:
+            pytest.skip("no toolchain on this host to fail the compile with")
+        with pytest.raises(NativeUnavailableError, match="native"):
+            native_module.load_native_module()

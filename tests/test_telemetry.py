@@ -381,13 +381,56 @@ class TestConnectedTrace:
 # Kernel throughput probes and placement
 # ----------------------------------------------------------------------
 class TestProbes:
-    def test_calibrate_engines_measures_every_registered_kernel(self):
+    def test_calibrate_engines_measures_every_available_kernel(self):
         from repro.telemetry.probes import calibrate_engines
+        from repro.uarch.engine import get_engine
 
         rates = calibrate_engines()
-        assert set(rates) == set(available_engines())
+        expected = {
+            name
+            for name in available_engines()
+            if get_engine(name).unavailable_reason() is None
+        }
+        assert set(rates) == expected
+        assert "scalar" in rates  # always runnable
         for engine, rate in rates.items():
             assert rate > 0.0, engine
+
+    def test_calibrate_skips_an_unavailable_native_kernel(self, monkeypatch):
+        """Per-kernel degradation, not whole-probe failure: the native
+        kernel missing its toolchain must cost only its own entry."""
+        from repro.telemetry.probes import calibrate_engines
+        from repro.uarch.engine import native as native_module
+
+        monkeypatch.setattr(native_module, "_MODULE", None)
+        monkeypatch.setattr(
+            native_module._COMPILER,
+            "unavailable_reason",
+            lambda: "no C compiler (cc/gcc/$CC) on PATH",
+        )
+        rates = calibrate_engines()
+        assert "native" not in rates
+        assert rates.get("scalar", 0.0) > 0.0
+
+    def test_worker_survives_a_native_probe_failure(self, tmp_path, monkeypatch):
+        """The ISSUE's degraded-path criterion: a worker probing a host
+        where the native kernel cannot build still publishes rates for
+        the kernels that ran and keeps serving."""
+        from repro.uarch.engine import native as native_module
+
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        monkeypatch.setattr(native_module, "_MODULE", None)
+        monkeypatch.setattr(
+            native_module._COMPILER,
+            "unavailable_reason",
+            lambda: "no C compiler (cc/gcc/$CC) on PATH",
+        )
+        queue = WorkQueue(tmp_path, ttl=30)
+        worker = QueueWorker(queue, probe_interval=3600.0)
+        worker._maybe_probe(time.time())  # must not raise
+        assert "native" not in worker.probes
+        assert worker.probes.get("scalar", 0.0) > 0.0
+        assert worker.preferred_engine in worker.probes
 
     def test_fastest_engine_picks_the_max_deterministically(self):
         from repro.telemetry.probes import fastest_engine
@@ -555,6 +598,29 @@ class TestTrendGate:
         assert series["engine/columnar/cold"]["values"] == [30_000.0]
         assert series["queue_grid/seconds"]["direction"] == "lower"
         assert series["service_grid/seconds"]["values"] == [2.5]
+
+    def test_split_series_groups_crossover_entries_per_config_and_kernel(self):
+        history = [
+            {
+                "kind": "crossover",
+                "config": "iq512-w32",
+                "engine": "columnar",
+                "cycles_per_second": 8_000,
+            },
+            {
+                "kind": "crossover",
+                "config": "iq512-w32",
+                "engine": "native",
+                "cycles_per_second": 400_000,
+            },
+            # Unstamped crossover entry: defaults like the engine series.
+            {"kind": "crossover", "cycles_per_second": 55_000},
+        ]
+        series = trend.split_series(history)
+        assert series["crossover/iq512-w32/columnar"]["values"] == [8_000.0]
+        assert series["crossover/iq512-w32/columnar"]["direction"] == "higher"
+        assert series["crossover/iq512-w32/native"]["values"] == [400_000.0]
+        assert series["crossover/table1/scalar"]["values"] == [55_000.0]
 
     def test_gate_series_returns_none_for_unknown_series(self, tmp_path):
         path = tmp_path / "BENCH_trace.json"
